@@ -1,0 +1,41 @@
+//! Ablation of §5.2: incremental K-order maintenance vs rebuilding the
+//! decomposition for every snapshot — the core claim behind IncAVT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avt_datasets::Dataset;
+use avt_kcore::{KOrder, MaintainedCore};
+
+fn bench_maintenance(c: &mut Criterion) {
+    let ds = Dataset::EmailEnron;
+    let eg = ds.generate(0.05, 10, 42);
+
+    let mut group = c.benchmark_group("ablation/korder-maintenance");
+    group.sample_size(10);
+
+    group.bench_function("incremental-maintenance", |b| {
+        b.iter(|| {
+            let mut mc = MaintainedCore::new(eg.initial().clone());
+            for batch in eg.batches() {
+                mc.apply_batch(batch).expect("batches apply");
+            }
+            mc.korder().live_count(1)
+        })
+    });
+
+    group.bench_function("rebuild-per-snapshot", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (_, graph) in eg.snapshots() {
+                let korder = KOrder::from_graph(&graph);
+                total += korder.live_count(1);
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 3: tracking time with varying k.
+//!
+//! One group per dataset family (a hub-heavy and a flat stand-in), one
+//! bench per (k, algorithm). Dataset sizes are small so `cargo bench`
+//! completes quickly; the full-size sweep lives in the `run_experiments`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use avt_bench::algorithms;
+use avt_core::AvtParams;
+use avt_datasets::Dataset;
+
+fn bench_vary_k(c: &mut Criterion) {
+    for (ds, scale) in [(Dataset::Deezer, 0.01), (Dataset::CollegeMsg, 0.2)] {
+        let eg = ds.generate(scale, 8, 42);
+        let mut group = c.benchmark_group(format!("fig3/{}", ds.spec().name));
+        group.sample_size(10);
+        for &k in ds.k_sweep() {
+            for algo in algorithms() {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), k),
+                    &k,
+                    |b, &k| {
+                        b.iter(|| {
+                            algo.track(&eg, AvtParams::new(k, 5)).expect("tracking succeeds")
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_vary_k);
+criterion_main!(benches);

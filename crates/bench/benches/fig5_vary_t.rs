@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 5: tracking time with varying snapshot count
+//! T. IncAVT's curve should grow far slower than the per-snapshot
+//! recompute baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use avt_bench::algorithms;
+use avt_core::AvtParams;
+use avt_datasets::Dataset;
+
+fn bench_vary_t(c: &mut Criterion) {
+    let ds = Dataset::EmailEnron;
+    let full = ds.generate(0.01, 12, 42);
+    let mut group = c.benchmark_group("fig5/email-Enron");
+    group.sample_size(10);
+    for t in [4usize, 8, 12] {
+        let truncated = full.truncated(t);
+        for algo in algorithms() {
+            group.bench_with_input(BenchmarkId::new(algo.name(), t), &t, |b, _| {
+                b.iter(|| {
+                    algo.track(&truncated, AvtParams::new(ds.default_k(), 5))
+                        .expect("tracking succeeds")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_t);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks of the substrate: core decomposition, K-order
+//! construction, and local follower queries. These are the building blocks
+//! whose costs explain the end-to-end figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avt_core::AnchoredCoreState;
+use avt_datasets::chunglu::chung_lu;
+use avt_kcore::{CoreDecomposition, KOrder};
+
+fn bench_substrate(c: &mut Criterion) {
+    let graph = chung_lu(20_000, 100_000, 2.4, 42);
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+
+    group.bench_function("core-decomposition-20k-100k", |b| {
+        b.iter(|| CoreDecomposition::compute(&graph))
+    });
+
+    group.bench_function("korder-build-20k-100k", |b| {
+        b.iter(|| KOrder::from_graph(&graph))
+    });
+
+    group.bench_function("follower-queries-all-candidates-k3", |b| {
+        let mut state = AnchoredCoreState::new(&graph, 3);
+        let candidates = state.candidates();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &x in candidates.iter().take(500) {
+                total += state.follower_count_of(x);
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p avt-bench --release --bin run_experiments -- all
+//! cargo run -p avt-bench --release --bin run_experiments -- fig3 --scale 0.05
+//! ```
+//!
+//! Results print to stdout and are written as CSV under `results/`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use avt_bench::experiments;
+use avt_bench::report::Table;
+use avt_bench::{datasets, Context};
+
+const USAGE: &str = "\
+usage: run_experiments <experiment> [options]
+
+experiments:
+  all       every table and figure
+  table2    dataset statistics
+  fig3 fig4 time / visited vertices vs k
+  fig5 fig6 time / visited vertices vs T
+  fig7 fig8 time / visited vertices vs l
+  fig9      followers vs T
+  fig10     followers vs l
+  fig11     followers vs k
+  fig12     case study vs brute force
+  table4    anchor/follower detail
+
+options:
+  --scale S      dataset scale in (0, 1]   (default 0.02)
+  --snapshots T  snapshot count            (default 30)
+  --l L          anchor budget             (default 10)
+  --seed N       generation seed           (default 42)
+  --out DIR      CSV output directory      (default results/)
+";
+
+struct Args {
+    experiment: String,
+    ctx: Context,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(|| USAGE.to_string())?;
+    let mut ctx = Context::default();
+    let mut out = PathBuf::from("results");
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--scale" => ctx.scale = value()?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--snapshots" => {
+                ctx.snapshots = value()?.parse().map_err(|e| format!("--snapshots: {e}"))?
+            }
+            "--l" => ctx.l = value()?.parse().map_err(|e| format!("--l: {e}"))?,
+            "--seed" => ctx.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => out = PathBuf::from(value()?),
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    if !(ctx.scale > 0.0 && ctx.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    Ok(Args { experiment, ctx, out })
+}
+
+fn emit(table: &Table, out: &Path, slug: &str) {
+    println!("{}", table.to_text());
+    if let Err(e) = table.write_csv(out, slug) {
+        eprintln!("warning: could not write {slug}.csv: {e}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = &args.ctx;
+    let all = datasets();
+    eprintln!(
+        "# running '{}' at scale {} (T = {}, l = {}, seed = {})",
+        args.experiment, ctx.scale, ctx.snapshots, ctx.l, ctx.seed
+    );
+
+    let run_one = |name: &str| -> bool {
+        match name {
+            "table2" => emit(&experiments::table2(ctx, &all), &args.out, "table2"),
+            "fig3" | "fig4" => {
+                let (t3, t4) = experiments::fig3_4(ctx, &all);
+                emit(&t3, &args.out, "fig3");
+                emit(&t4, &args.out, "fig4");
+            }
+            "fig5" | "fig6" => {
+                let (t5, t6) = experiments::fig5_6(ctx, &all);
+                emit(&t5, &args.out, "fig5");
+                emit(&t6, &args.out, "fig6");
+            }
+            "fig7" | "fig8" => {
+                let (t7, t8) = experiments::fig7_8(ctx, &all);
+                emit(&t7, &args.out, "fig7");
+                emit(&t8, &args.out, "fig8");
+            }
+            "fig9" => emit(&experiments::fig9(ctx, &all), &args.out, "fig9"),
+            "fig10" => emit(&experiments::fig10(ctx, &all), &args.out, "fig10"),
+            "fig11" => emit(&experiments::fig11(ctx, &all), &args.out, "fig11"),
+            "fig12" => emit(&experiments::fig12(ctx), &args.out, "fig12"),
+            "table4" => emit(&experiments::table4(ctx), &args.out, "table4"),
+            _ => return false,
+        }
+        true
+    };
+
+    let ok = match args.experiment.as_str() {
+        "all" => {
+            for name in
+                ["table2", "fig3", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "table4"]
+            {
+                run_one(name);
+            }
+            true
+        }
+        other => run_one(other),
+    };
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown experiment '{}'\n{USAGE}", args.experiment);
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,420 @@
+//! One function per paper artifact (tables and figures of §6).
+
+use std::time::Duration;
+
+use avt_core::{AvtAlgorithm, AvtParams, AvtResult};
+use avt_datasets::Dataset;
+use avt_graph::{EvolvingGraph, GraphStats};
+
+use crate::report::{secs, Table};
+use crate::{algorithms, brute_force_reference, calibrate_k, Context};
+
+/// The T values plotted on the x-axis of Figures 5/6/9 (2, 6, 10, ... 30),
+/// clamped to the configured snapshot count.
+fn t_axis(snapshots: usize) -> Vec<usize> {
+    (1..)
+        .map(|i| 4 * i - 2)
+        .take_while(|&t| t <= snapshots)
+        .collect()
+}
+
+/// The l values of Figures 7/8/10, scaled down with the context budget.
+fn l_axis(l_default: usize) -> Vec<usize> {
+    [5usize, 10, 15, 20]
+        .iter()
+        .map(|&x| (x * l_default).div_ceil(10).max(1))
+        .collect()
+}
+
+fn run(
+    algo: &dyn AvtAlgorithm,
+    evolving: &EvolvingGraph,
+    params: AvtParams,
+) -> AvtResult {
+    algo.track(evolving, params)
+        .expect("experiment datasets are internally consistent")
+}
+
+/// Table 2: statistics of the generated stand-ins next to the paper's
+/// numbers.
+pub fn table2(ctx: &Context, datasets: &[Dataset]) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Table 2: dataset statistics at steady state (scale = {})",
+            ctx.scale
+        ),
+        &["dataset", "nodes", "edges", "davg", "paper_nodes", "paper_edges", "paper_davg", "type"],
+    );
+    for &ds in datasets {
+        let spec = ds.spec();
+        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        // Temporal stand-ins ramp up from a sparse first period exactly
+        // like the real streams; their Table 2 density is reached at
+        // steady state, so measure the final snapshot.
+        let last = eg
+            .snapshot(eg.num_snapshots())
+            .expect("final snapshot exists");
+        let stats = GraphStats::compute(&last);
+        table.push_row(vec![
+            spec.name.to_string(),
+            stats.nodes.to_string(),
+            stats.edges.to_string(),
+            format!("{:.2}", stats.avg_degree),
+            spec.nodes.to_string(),
+            spec.edges.to_string(),
+            format!("{:.2}", spec.avg_degree),
+            spec.kind.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Figures 3 and 4: per dataset, sweep `k`, run every algorithm, report
+/// total time (Fig. 3) and visited candidate vertices (Fig. 4).
+pub fn fig3_4(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
+    let mut time = Table::new(
+        "Figure 3: time (s) with varying k",
+        &["dataset", "k_paper", "k_eff", "algorithm", "time_s"],
+    );
+    let mut visited = Table::new(
+        "Figure 4: visited candidate vertices with varying k",
+        &["dataset", "k_paper", "k_eff", "algorithm", "visited", "probed"],
+    );
+    for &ds in datasets {
+        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        for &k_paper in ds.k_sweep() {
+            let k = calibrate_k(&eg, k_paper);
+            let params = AvtParams::new(k, ctx.l);
+            for algo in algorithms() {
+                let result = run(algo.as_ref(), &eg, params);
+                let m = result.total_metrics();
+                time.push_row(vec![
+                    ds.spec().name.into(),
+                    k_paper.to_string(),
+                    k.to_string(),
+                    algo.name().into(),
+                    secs(result.total_elapsed()),
+                ]);
+                if algo.name() != "RCM" {
+                    // Figure 4 plots OLAK / Greedy / IncAVT only.
+                    visited.push_row(vec![
+                        ds.spec().name.into(),
+                        k_paper.to_string(),
+                        k.to_string(),
+                        algo.name().into(),
+                        m.vertices_visited.to_string(),
+                        m.candidates_probed.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    (time, visited)
+}
+
+/// Figures 5 and 6: cumulative time and visited vertices as `T` grows.
+/// One tracking run per (dataset, algorithm); the T-axis points are prefix
+/// sums over per-snapshot reports.
+pub fn fig5_6(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
+    let mut time = Table::new(
+        "Figure 5: cumulative time (s) with varying T",
+        &["dataset", "T", "algorithm", "time_s"],
+    );
+    let mut visited = Table::new(
+        "Figure 6: cumulative visited vertices with varying T",
+        &["dataset", "T", "algorithm", "visited"],
+    );
+    for &ds in datasets {
+        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let params = AvtParams::new(calibrate_k(&eg, ds.default_k()), ctx.l);
+        for algo in algorithms() {
+            let result = run(algo.as_ref(), &eg, params);
+            let mut cum_time = Duration::ZERO;
+            let mut cum_visited = 0u64;
+            let mut axis = t_axis(ctx.snapshots).into_iter().peekable();
+            for (i, report) in result.reports.iter().enumerate() {
+                cum_time += report.elapsed;
+                cum_visited += report.metrics.vertices_visited;
+                if axis.peek() == Some(&(i + 1)) {
+                    axis.next();
+                    time.push_row(vec![
+                        ds.spec().name.into(),
+                        (i + 1).to_string(),
+                        algo.name().into(),
+                        secs(cum_time),
+                    ]);
+                    if algo.name() != "RCM" {
+                        visited.push_row(vec![
+                            ds.spec().name.into(),
+                            (i + 1).to_string(),
+                            algo.name().into(),
+                            cum_visited.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    (time, visited)
+}
+
+/// Figures 7 and 8: total time and visited vertices with varying `l`.
+pub fn fig7_8(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
+    let mut time = Table::new(
+        "Figure 7: time (s) with varying l",
+        &["dataset", "l", "algorithm", "time_s"],
+    );
+    let mut visited = Table::new(
+        "Figure 8: visited candidate vertices with varying l",
+        &["dataset", "l", "algorithm", "visited"],
+    );
+    for &ds in datasets {
+        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let k = calibrate_k(&eg, ds.default_k());
+        for l in l_axis(ctx.l) {
+            let params = AvtParams::new(k, l);
+            for algo in algorithms() {
+                let result = run(algo.as_ref(), &eg, params);
+                time.push_row(vec![
+                    ds.spec().name.into(),
+                    l.to_string(),
+                    algo.name().into(),
+                    secs(result.total_elapsed()),
+                ]);
+                if algo.name() != "RCM" {
+                    visited.push_row(vec![
+                        ds.spec().name.into(),
+                        l.to_string(),
+                        algo.name().into(),
+                        result.total_metrics().vertices_visited.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    (time, visited)
+}
+
+/// Figure 9: cumulative followers as `T` grows (effectiveness).
+pub fn fig9(ctx: &Context, datasets: &[Dataset]) -> Table {
+    let mut table = Table::new(
+        "Figure 9: cumulative followers with varying T",
+        &["dataset", "T", "algorithm", "followers"],
+    );
+    for &ds in datasets {
+        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let params = AvtParams::new(calibrate_k(&eg, ds.default_k()), ctx.l);
+        for algo in algorithms() {
+            let result = run(algo.as_ref(), &eg, params);
+            let mut cum = 0usize;
+            let mut axis = t_axis(ctx.snapshots).into_iter().peekable();
+            for (i, &count) in result.follower_counts.iter().enumerate() {
+                cum += count;
+                if axis.peek() == Some(&(i + 1)) {
+                    axis.next();
+                    table.push_row(vec![
+                        ds.spec().name.into(),
+                        (i + 1).to_string(),
+                        algo.name().into(),
+                        cum.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Figure 10: total followers with varying `l`.
+pub fn fig10(ctx: &Context, datasets: &[Dataset]) -> Table {
+    let mut table = Table::new(
+        "Figure 10: total followers with varying l",
+        &["dataset", "l", "algorithm", "followers"],
+    );
+    for &ds in datasets {
+        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let k = calibrate_k(&eg, ds.default_k());
+        for l in l_axis(ctx.l) {
+            let params = AvtParams::new(k, l);
+            for algo in algorithms() {
+                let result = run(algo.as_ref(), &eg, params);
+                table.push_row(vec![
+                    ds.spec().name.into(),
+                    l.to_string(),
+                    algo.name().into(),
+                    result.total_followers().to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 11: total followers with varying `k` (the paper's "2/5, 3/10,
+/// 4/15" axis — the first three entries of each dataset's sweep).
+pub fn fig11(ctx: &Context, datasets: &[Dataset]) -> Table {
+    let mut table = Table::new(
+        "Figure 11: total followers with varying k",
+        &["dataset", "k", "algorithm", "followers"],
+    );
+    for &ds in datasets {
+        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        for &k_paper in ds.k_sweep().iter().take(3) {
+            let k = calibrate_k(&eg, k_paper);
+            let params = AvtParams::new(k, ctx.l);
+            for algo in algorithms() {
+                let result = run(algo.as_ref(), &eg, params);
+                table.push_row(vec![
+                    ds.spec().name.into(),
+                    format!("{k_paper}/{k}"),
+                    algo.name().into(),
+                    result.total_followers().to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 12: the eu-core case study — per-snapshot followers of every
+/// heuristic next to the brute-force optimum, at l = 2, k = 3.
+pub fn fig12(ctx: &Context) -> Table {
+    let snapshots = ctx.snapshots.min(20);
+    let eg = Dataset::EuCore.generate(ctx.scale, snapshots, ctx.seed);
+    let params = AvtParams::new(crate::most_anchorable_k(&eg), 2);
+    let mut table = Table::new(
+        format!(
+            "Figure 12: followers vs brute force (eu-core stand-in, l=2, k={})",
+            params.k
+        ),
+        &["T", "algorithm", "followers"],
+    );
+    let brute = brute_force_reference();
+    let mut runs: Vec<(String, AvtResult)> = algorithms()
+        .iter()
+        .map(|a| (a.name().to_string(), run(a.as_ref(), &eg, params)))
+        .collect();
+    runs.push(("Brute-force".into(), run(&brute, &eg, params)));
+    for t in 1..=snapshots {
+        for (name, result) in &runs {
+            table.push_row(vec![
+                t.to_string(),
+                name.clone(),
+                result.follower_counts[t - 1].to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Table 4: selected anchors and their followers at the first snapshot of
+/// the eu-core case study.
+pub fn table4(ctx: &Context) -> Table {
+    let eg = Dataset::EuCore.generate(ctx.scale, 1, ctx.seed);
+    let params = AvtParams::new(crate::most_anchorable_k(&eg), 2);
+    let mut table = Table::new(
+        format!(
+            "Table 4: selected anchored vertices and followers (eu-core stand-in, t=1, l=2, k={})",
+            params.k
+        ),
+        &["algorithm", "anchors", "followers"],
+    );
+    let brute = brute_force_reference();
+    let mut entries: Vec<(String, AvtResult)> = vec![(
+        "Brute-force".into(),
+        run(&brute, &eg, params),
+    )];
+    for algo in algorithms() {
+        entries.push((algo.name().to_string(), run(algo.as_ref(), &eg, params)));
+    }
+    for (name, result) in entries {
+        let report = &result.reports[0];
+        let fmt = |v: &[avt_graph::VertexId]| {
+            v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+        };
+        table.push_row(vec![name, fmt(&report.anchors), fmt(&report.followers)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::tiny()
+    }
+
+    #[test]
+    fn t_axis_matches_paper_ticks() {
+        assert_eq!(t_axis(30), vec![2, 6, 10, 14, 18, 22, 26, 30]);
+        assert_eq!(t_axis(6), vec![2, 6]);
+        assert_eq!(t_axis(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn l_axis_scales_with_budget() {
+        assert_eq!(l_axis(10), vec![5, 10, 15, 20]);
+        assert_eq!(l_axis(4), vec![2, 4, 6, 8]);
+        assert_eq!(l_axis(1), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn table2_reports_all_requested_datasets() {
+        let t = table2(&ctx(), &[Dataset::Deezer, Dataset::CollegeMsg]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.to_text().contains("Deezer"));
+    }
+
+    #[test]
+    fn fig3_4_produces_rows_per_algorithm() {
+        let (time, visited) = fig3_4(&ctx(), &[Dataset::Deezer]);
+        // 4 k values × 4 algorithms.
+        assert_eq!(time.rows.len(), 16);
+        // Figure 4 excludes RCM.
+        assert_eq!(visited.rows.len(), 12);
+    }
+
+    #[test]
+    fn fig5_6_emits_prefix_series() {
+        let (time, visited) = fig5_6(&ctx(), &[Dataset::Deezer]);
+        // T axis for 6 snapshots = {2, 6}; 4 algorithms.
+        assert_eq!(time.rows.len(), 8);
+        assert_eq!(visited.rows.len(), 6);
+        // Cumulative series are non-decreasing per algorithm.
+        let greedy: Vec<f64> = time
+            .rows
+            .iter()
+            .filter(|r| r[2] == "Greedy")
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        assert!(greedy.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fig9_followers_are_cumulative() {
+        let t = fig9(&ctx(), &[Dataset::CollegeMsg]);
+        let inc: Vec<u64> = t
+            .rows
+            .iter()
+            .filter(|r| r[2] == "IncAVT")
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        assert!(inc.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fig12_includes_brute_force() {
+        let small = Context { snapshots: 2, ..Context::tiny() };
+        let t = fig12(&small);
+        assert!(t.rows.iter().any(|r| r[1] == "Brute-force"));
+        assert!(t.rows.iter().any(|r| r[1] == "IncAVT"));
+    }
+
+    #[test]
+    fn table4_lists_all_algorithms() {
+        let t = table4(&ctx());
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows[0][0], "Brute-force");
+    }
+}

@@ -1,0 +1,131 @@
+//! Plain-text/CSV tables for experiment output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table with a title, convertible to markdown-ish
+/// text and CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. "Figure 3(a): email-Enron, time vs k").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Write the CSV rendering to `dir/<slug>.csv`, creating `dir`.
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+}
+
+/// Format a duration in seconds with sensible precision.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["k", "algo", "time"]);
+        t.push_row(vec!["3".into(), "Greedy".into(), "0.5".into()]);
+        t.push_row(vec!["10".into(), "IncAVT".into(), "0.01".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("Greedy"));
+        // Two data lines + header + separator + title.
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_rendering_round_trips_cells() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("k,algo,time"));
+        assert!(csv.contains("10,IncAVT,0.01"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("avt_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().write_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(content.starts_with("# demo"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn secs_formats_fixed_precision() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.5000");
+    }
+}

@@ -1,0 +1,670 @@
+//! The anchored core state: the shared engine behind every AVT algorithm.
+//!
+//! An [`AnchoredCoreState`] is a view of one snapshot `G_t` under a set of
+//! committed anchors `S`. It stores the *anchored* core decomposition
+//! (anchors are unpeelable, core `∞`) and answers, exactly:
+//!
+//! * membership of the anchored k-core `C_k(S)` and its size;
+//! * **follower queries** `F_k(S ∪ {x}, G_t) \ F_k(S, G_t)` for a
+//!   hypothetical extra anchor `x`, via the order-based local computation of
+//!   §4.2 (forward closure + fixpoint — see below);
+//! * the Theorem-3 **candidate set** — the only vertices whose anchoring
+//!   can produce any followers.
+//!
+//! # Follower computation (Algorithm 3, reformulated)
+//!
+//! The paper computes followers by simulating OrderInsert with the anchor's
+//! core set to infinity. We implement the same locality with two facts that
+//! hold for any valid peel order (see `avt-kcore` crate docs):
+//!
+//! 1. Followers of a single extra anchor all lie in the (k-1)-shell of the
+//!    anchored decomposition (ref. \[37\], used in Theorem 3).
+//! 2. Support *gains* propagate only forward in the order: a shell vertex
+//!    `w` can gain support only from the anchor or from an order-earlier
+//!    shell vertex `v ⪯ w` that itself got promoted (if `w ⪯ v`, then `v`'s
+//!    survival was already counted in `w`'s remaining degree).
+//!
+//! So the candidate region is the *forward closure*: seeds are neighbours
+//! `v` of `x` with `core(v) = k-1 ∧ x ⪯ v`, expanded along edges `v → w`
+//! with `core(w) = k-1 ∧ v ⪯ w`. On that region we run the exact anchored
+//! peel (support = neighbours in `C_k(S)`, the anchor `x`, and unremoved
+//! region peers; remove while support < k). The fixpoint survivors are
+//! exactly the followers — the closure bounds *where* followers can be, the
+//! peel decides *which* of them make it.
+//!
+//! Committing an anchor re-runs the anchored decomposition (one O(n + m)
+//! bucket peel). Commits are rare (at most `l` per snapshot); follower
+//! queries are the hot path and stay local.
+
+use avt_graph::{Graph, VertexId};
+use avt_kcore::decompose::CoreDecomposition;
+
+use crate::metrics::Metrics;
+
+/// Anchored core decomposition of one snapshot with local follower queries.
+///
+/// # Example
+///
+/// ```
+/// use avt_graph::Graph;
+/// use avt_core::AnchoredCoreState;
+///
+/// // Square 0-1-2-3 with one diagonal missing: 2-core is the square.
+/// // Vertex 4 hangs off 0 and 1 with two edges: core 2? no — degree 2 but
+/// // its neighbours are in the 2-core, so 4 is in the 2-core too. Use a
+/// // pendant 5 instead (one edge): core 1.
+/// let g = Graph::from_edges(6, [(0,1),(1,2),(2,3),(3,0),(4,0),(4,1),(5,0)]).unwrap();
+/// let mut st = AnchoredCoreState::new(&g, 2);
+/// assert_eq!(st.anchored_core_size(), 5); // everyone but the pendant
+/// // Anchoring the pendant adds only itself (no followers).
+/// assert_eq!(st.follower_count_of(5), 0);
+/// ```
+pub struct AnchoredCoreState<'g> {
+    graph: &'g Graph,
+    k: u32,
+    anchors: Vec<VertexId>,
+    is_anchor: Vec<bool>,
+    decomp: CoreDecomposition,
+    core_size: usize,
+    metrics: Metrics,
+    // Epoch-stamped scratch for follower queries (no per-query allocation).
+    epoch: u32,
+    in_region: Vec<u32>,
+    removed: Vec<u32>,
+    queued: Vec<u32>,
+    support: Vec<u32>,
+    region: Vec<VertexId>,
+    queue: Vec<VertexId>,
+}
+
+impl<'g> AnchoredCoreState<'g> {
+    /// State with no anchors committed.
+    pub fn new(graph: &'g Graph, k: u32) -> Self {
+        Self::with_anchors(graph, k, &[])
+    }
+
+    /// State with `anchors` committed (single decomposition pass).
+    pub fn with_anchors(graph: &'g Graph, k: u32, anchors: &[VertexId]) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let n = graph.num_vertices();
+        let mut st = AnchoredCoreState {
+            graph,
+            k,
+            anchors: anchors.to_vec(),
+            is_anchor: vec![false; n],
+            decomp: CoreDecomposition::compute(graph), // replaced below
+            core_size: 0,
+            metrics: Metrics::default(),
+            epoch: 0,
+            in_region: vec![0; n],
+            removed: vec![0; n],
+            queued: vec![0; n],
+            support: vec![0; n],
+            region: Vec::new(),
+            queue: Vec::new(),
+        };
+        for &a in anchors {
+            st.is_anchor[a as usize] = true;
+        }
+        st.rebuild();
+        st
+    }
+
+    /// Recompute the anchored decomposition. O(n + m).
+    fn rebuild(&mut self) {
+        self.decomp = CoreDecomposition::compute_with_anchor_flags(self.graph, &self.is_anchor);
+        self.core_size =
+            self.decomp.cores().iter().filter(|&&c| c >= self.k).count();
+        self.metrics.rebuilds += 1;
+        self.metrics.vertices_visited += self.graph.num_vertices() as u64;
+    }
+
+    /// The snapshot this state views.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The degree threshold `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Committed anchors, in commit order.
+    pub fn anchors(&self) -> &[VertexId] {
+        &self.anchors
+    }
+
+    /// Anchored core number of `v` ([`avt_kcore::ANCHOR_CORE`] for anchors).
+    pub fn core(&self, v: VertexId) -> u32 {
+        self.decomp.core(v)
+    }
+
+    /// True when `v` is in the anchored k-core `C_k(S)` (anchors included,
+    /// per Definition 4).
+    pub fn in_core(&self, v: VertexId) -> bool {
+        self.decomp.core(v) >= self.k
+    }
+
+    /// `|C_k(S)|` — anchors count as members (Definition 4).
+    pub fn anchored_core_size(&self) -> usize {
+        self.core_size
+    }
+
+    /// The K-order relation under the anchored decomposition.
+    pub fn precedes(&self, u: VertexId, v: VertexId) -> bool {
+        self.decomp.precedes(u, v)
+    }
+
+    /// A copy of the current (anchored) core numbers. Algorithms call this
+    /// *before* committing anchors to capture the base `C_k` for follower
+    /// reporting.
+    pub fn base_cores_snapshot(&self) -> Vec<u32> {
+        self.decomp.cores().to_vec()
+    }
+
+    /// Record `n` candidate probes (counted by the algorithm driving this
+    /// state, so that all algorithms report the metric identically).
+    pub fn add_probed(&mut self, n: u64) {
+        self.metrics.candidates_probed += n;
+    }
+
+    /// Record `n` extra visited vertices (scans performed by the driving
+    /// algorithm outside the follower machinery).
+    pub fn bump_visited(&mut self, n: u64) {
+        self.metrics.vertices_visited += n;
+    }
+
+    /// Drain the accumulated counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Peek at accumulated counters without draining.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.in_region.fill(0);
+            self.removed.fill(0);
+            self.queued.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Exact followers of the hypothetical extra anchor `x`, on top of the
+    /// committed anchors. Local: cost proportional to the forward closure,
+    /// not the graph. Returns an empty set when `x` is already in the core
+    /// or already an anchor.
+    pub fn followers_of(&mut self, x: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.followers_of_into(x, &mut out);
+        out
+    }
+
+    /// Number of followers of `x` (allocation-free fast path for ranking).
+    pub fn follower_count_of(&mut self, x: VertexId) -> usize {
+        self.compute_followers(x);
+        let epoch = self.epoch;
+        self.region.iter().filter(|&&v| self.removed[v as usize] != epoch).count()
+    }
+
+    /// As [`Self::followers_of`] but reusing the caller's buffer.
+    pub fn followers_of_into(&mut self, x: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        self.compute_followers(x);
+        let epoch = self.epoch;
+        out.extend(self.region.iter().copied().filter(|&v| self.removed[v as usize] != epoch));
+    }
+
+    /// Followers of `x` computed the OLAK way: the candidate region is the
+    /// *undirected* shell closure around `x` (no K-order condition). The
+    /// answer is identical — the undirected closure is a superset of the
+    /// forward closure and the fixpoint is exact on any superset — but more
+    /// vertices are visited, which is precisely the inefficiency the
+    /// paper's Figures 4/6/8 attribute to OLAK.
+    pub fn followers_of_unordered(&mut self, x: VertexId) -> Vec<VertexId> {
+        self.compute_followers_with(x, false);
+        let epoch = self.epoch;
+        self.region
+            .iter()
+            .copied()
+            .filter(|&v| self.removed[v as usize] != epoch)
+            .collect()
+    }
+
+    /// Follower count via the unordered (OLAK) region.
+    pub fn follower_count_of_unordered(&mut self, x: VertexId) -> usize {
+        self.compute_followers_with(x, false);
+        let epoch = self.epoch;
+        self.region.iter().filter(|&&v| self.removed[v as usize] != epoch).count()
+    }
+
+    /// Core of the follower machinery: builds the forward-closure region
+    /// for anchor `x` and peels it; survivors (region members not stamped
+    /// `removed`) are the followers.
+    fn compute_followers(&mut self, x: VertexId) {
+        self.compute_followers_with(x, true);
+    }
+
+    fn compute_followers_with(&mut self, x: VertexId, ordered: bool) {
+        let epoch = self.next_epoch();
+        self.region.clear();
+        self.metrics.follower_evaluations += 1;
+
+        let shell = self.k - 1;
+        if self.is_anchor[x as usize] || self.decomp.core(x) >= self.k {
+            return; // anchoring a core member or an anchor gains nothing
+        }
+
+        // Seeds: neighbours v of x in the (k-1)-shell with x ⪯ v. (If
+        // core(x) < k-1 the order condition is automatic.)
+        let mut head = self.region.len();
+        for &v in self.graph.neighbors(x) {
+            if self.decomp.core(v) == shell
+                && (!ordered || self.decomp.precedes(x, v))
+                && self.in_region[v as usize] != epoch
+            {
+                self.in_region[v as usize] = epoch;
+                self.region.push(v);
+            }
+        }
+
+        // Forward closure: v → w with core(w) = k-1 and v ⪯ w. (In the
+        // unordered OLAK variant the ⪯ condition is dropped.)
+        while head < self.region.len() {
+            let v = self.region[head];
+            head += 1;
+            for i in 0..self.graph.degree(v) {
+                let w = self.graph.neighbors(v)[i];
+                if self.decomp.core(w) == shell
+                    && self.in_region[w as usize] != epoch
+                    && w != x
+                    && (!ordered || self.decomp.precedes(v, w))
+                {
+                    self.in_region[w as usize] = epoch;
+                    self.region.push(w);
+                }
+            }
+        }
+        self.metrics.vertices_visited += self.region.len() as u64;
+
+        // Exact anchored peel on the region: support counts core members,
+        // the anchor x, and unremoved region peers.
+        for ri in 0..self.region.len() {
+            let v = self.region[ri];
+            let mut s = 0u32;
+            for &w in self.graph.neighbors(v) {
+                if w == x
+                    || self.decomp.core(w) >= self.k
+                    || self.in_region[w as usize] == epoch
+                {
+                    s += 1;
+                }
+            }
+            self.support[v as usize] = s;
+        }
+
+        self.queue.clear();
+        for ri in 0..self.region.len() {
+            let v = self.region[ri];
+            if self.support[v as usize] < self.k {
+                self.queued[v as usize] = epoch;
+                self.queue.push(v);
+            }
+        }
+        let mut qhead = 0usize;
+        while qhead < self.queue.len() {
+            let v = self.queue[qhead];
+            qhead += 1;
+            self.removed[v as usize] = epoch;
+            for i in 0..self.graph.degree(v) {
+                let w = self.graph.neighbors(v)[i];
+                let wi = w as usize;
+                if self.in_region[wi] == epoch
+                    && self.removed[wi] != epoch
+                    && self.queued[wi] != epoch
+                {
+                    self.support[wi] -= 1;
+                    if self.support[wi] < self.k {
+                        self.queued[wi] = epoch;
+                        self.queue.push(w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Commit `x` as an anchor: followers join the core, core numbers are
+    /// recomputed exactly. O(n + m).
+    pub fn commit_anchor(&mut self, x: VertexId) {
+        assert!(!self.is_anchor[x as usize], "vertex {x} is already anchored");
+        self.is_anchor[x as usize] = true;
+        self.anchors.push(x);
+        self.rebuild();
+    }
+
+    /// Remove a committed anchor (used by IncAVT's swap search). O(n + m).
+    pub fn uncommit_anchor(&mut self, x: VertexId) {
+        assert!(self.is_anchor[x as usize], "vertex {x} is not anchored");
+        self.is_anchor[x as usize] = false;
+        self.anchors.retain(|&a| a != x);
+        self.rebuild();
+    }
+
+    /// The followers of the *committed* anchor set relative to the plain
+    /// (unanchored) k-core: `F_k(S, G_t)` of Definition 3. O(n).
+    ///
+    /// `base_cores` must be the unanchored core numbers of the same graph.
+    pub fn committed_followers(&self, base_cores: &[u32]) -> Vec<VertexId> {
+        (0..self.graph.num_vertices() as VertexId)
+            .filter(|&v| {
+                !self.is_anchor[v as usize]
+                    && self.decomp.core(v) >= self.k
+                    && base_cores[v as usize] < self.k
+            })
+            .collect()
+    }
+
+    /// Theorem 3 candidate set: vertices `x` outside `C_k(S)`, not yet
+    /// anchored, with at least one neighbour `v` in the (k-1)-shell such
+    /// that `x ⪯ v`. Only these can have any followers. The scan walks the
+    /// shell's neighbourhoods (O(vol(shell))).
+    pub fn candidates(&mut self) -> Vec<VertexId> {
+        let epoch = self.next_epoch();
+        let shell = self.k - 1;
+        let mut out = Vec::new();
+        for v in 0..self.graph.num_vertices() as VertexId {
+            if self.decomp.core(v) != shell {
+                continue;
+            }
+            self.metrics.vertices_visited += 1;
+            for &x in self.graph.neighbors(v) {
+                let xi = x as usize;
+                if self.in_region[xi] == epoch
+                    || self.is_anchor[xi]
+                    || self.decomp.core(x) >= self.k
+                    || !self.decomp.precedes(x, v)
+                {
+                    continue;
+                }
+                self.in_region[xi] = epoch;
+                out.push(x);
+            }
+            // A shell vertex can anchor itself if it precedes a fellow
+            // shell neighbour — that case is covered by the scan above when
+            // the roles are swapped, so nothing more to do here.
+        }
+        out
+    }
+
+    /// OLAK's candidate set: every non-core, non-anchored vertex adjacent
+    /// to the (k-1)-shell, *plus* the shell vertices themselves — no
+    /// K-order pruning. A strict superset of [`Self::candidates`].
+    pub fn candidates_unordered(&mut self) -> Vec<VertexId> {
+        let epoch = self.next_epoch();
+        let shell = self.k - 1;
+        let mut out = Vec::new();
+        for v in 0..self.graph.num_vertices() as VertexId {
+            if self.decomp.core(v) != shell {
+                continue;
+            }
+            self.metrics.vertices_visited += 1;
+            if self.in_region[v as usize] != epoch && !self.is_anchor[v as usize] {
+                self.in_region[v as usize] = epoch;
+                out.push(v);
+            }
+            for &x in self.graph.neighbors(v) {
+                let xi = x as usize;
+                if self.in_region[xi] == epoch
+                    || self.is_anchor[xi]
+                    || self.decomp.core(x) >= self.k
+                {
+                    continue;
+                }
+                self.in_region[xi] = epoch;
+                out.push(x);
+            }
+        }
+        out
+    }
+}
+
+impl<'g> Clone for AnchoredCoreState<'g> {
+    /// Cloning copies the decomposition and anchor flags (O(n)); scratch
+    /// space is reset. Used by the parallel candidate-evaluation path.
+    fn clone(&self) -> Self {
+        let n = self.graph.num_vertices();
+        AnchoredCoreState {
+            graph: self.graph,
+            k: self.k,
+            anchors: self.anchors.clone(),
+            is_anchor: self.is_anchor.clone(),
+            decomp: self.decomp.clone(),
+            core_size: self.core_size,
+            metrics: Metrics::default(),
+            epoch: 0,
+            in_region: vec![0; n],
+            removed: vec![0; n],
+            queued: vec![0; n],
+            support: vec![0; n],
+            region: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::naive_followers;
+
+    /// A k=3 scenario: K4 on {0,1,2,3} is the 3-core; shell vertices 4 and
+    /// 5 are one supporter short (4 leans on 0 and 5; 5 leans on 2, 3 and
+    /// 4), so anchoring the outsider 6 (adjacent to 4) pulls both in.
+    fn shell_graph() -> Graph {
+        Graph::from_edges(
+            7,
+            [
+                // K4 — the 3-core
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                // 4 has one core neighbour and leans on 5
+                (4, 0),
+                (4, 5),
+                // 5 has two core neighbours and leans on 4
+                (5, 2),
+                (5, 3),
+                // 6 is an outsider adjacent to the shell
+                (6, 4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn core_size_counts_anchors() {
+        let g = shell_graph();
+        let st = AnchoredCoreState::new(&g, 3);
+        assert_eq!(st.anchored_core_size(), 4);
+        let st = AnchoredCoreState::with_anchors(&g, 3, &[6]);
+        // Anchor 6 is in C_k(S) by definition; 6 alone saves 4 (supporters
+        // 0, 5, 6) and 5 (supporters 2, 3, 4) as a mutual fixpoint.
+        assert!(st.in_core(6));
+        assert!(st.in_core(4));
+        assert!(st.in_core(5));
+        assert_eq!(st.anchored_core_size(), 7);
+    }
+
+    #[test]
+    fn followers_match_naive_oracle() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        for x in g.vertices() {
+            let mut fast = st.followers_of(x);
+            fast.sort_unstable();
+            let naive = naive_followers(&g, 3, &[], x);
+            assert_eq!(fast, naive, "anchor {x}");
+        }
+    }
+
+    #[test]
+    fn followers_respect_committed_anchors() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        st.commit_anchor(6);
+        for x in g.vertices() {
+            if x == 6 {
+                continue;
+            }
+            let mut fast = st.followers_of(x);
+            fast.sort_unstable();
+            let naive = naive_followers(&g, 3, &[6], x);
+            assert_eq!(fast, naive, "anchor {x} on top of committed 6");
+        }
+    }
+
+    #[test]
+    fn anchor_and_core_members_have_no_followers() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        assert_eq!(st.follower_count_of(0), 0); // core member
+        st.commit_anchor(6);
+        assert_eq!(st.follower_count_of(6), 0); // already anchored
+    }
+
+    #[test]
+    fn commit_then_uncommit_restores_state() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        let before = st.anchored_core_size();
+        st.commit_anchor(6);
+        assert!(st.anchored_core_size() > before);
+        st.uncommit_anchor(6);
+        assert_eq!(st.anchored_core_size(), before);
+        assert!(st.anchors().is_empty());
+    }
+
+    #[test]
+    fn committed_followers_lists_promotions() {
+        let g = shell_graph();
+        let base = CoreDecomposition::compute(&g);
+        let mut st = AnchoredCoreState::new(&g, 3);
+        st.commit_anchor(6);
+        let mut f = st.committed_followers(base.cores());
+        f.sort_unstable();
+        assert_eq!(f, vec![4, 5]);
+    }
+
+    #[test]
+    fn candidates_only_contains_productive_anchors() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        let cands = st.candidates();
+        // Every candidate must be outside the core and un-anchored.
+        for &c in &cands {
+            assert!(!st.in_core(c), "candidate {c} is in the core");
+        }
+        // Completeness: any vertex with at least one follower must be a
+        // candidate (Theorem 3).
+        for x in g.vertices() {
+            if st.follower_count_of(x) > 0 {
+                assert!(cands.contains(&x), "vertex {x} has followers but was pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn follower_counts_and_sets_agree() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        for x in g.vertices() {
+            let set = st.followers_of(x);
+            assert_eq!(set.len(), st.follower_count_of(x), "anchor {x}");
+        }
+    }
+
+    #[test]
+    fn metrics_accumulate_and_drain() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        let _ = st.followers_of(6);
+        let m = st.take_metrics();
+        assert!(m.follower_evaluations >= 1);
+        assert!(m.rebuilds >= 1);
+        assert_eq!(st.metrics(), Metrics::default());
+    }
+
+    #[test]
+    fn unordered_followers_agree_with_ordered() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        for x in g.vertices() {
+            let mut a = st.followers_of(x);
+            let mut b = st.followers_of_unordered(x);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "anchor {x}");
+            assert_eq!(b.len(), st.follower_count_of_unordered(x));
+        }
+    }
+
+    #[test]
+    fn unordered_candidates_superset_of_ordered() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        let ordered = st.candidates();
+        let unordered = st.candidates_unordered();
+        for c in &ordered {
+            assert!(unordered.contains(c), "pruned set must be a subset");
+        }
+        assert!(unordered.len() >= ordered.len());
+    }
+
+    #[test]
+    fn clone_preserves_decomposition_and_resets_metrics() {
+        let g = shell_graph();
+        let mut st = AnchoredCoreState::new(&g, 3);
+        st.commit_anchor(6);
+        let mut cloned = st.clone();
+        assert_eq!(cloned.anchored_core_size(), st.anchored_core_size());
+        assert_eq!(cloned.anchors(), st.anchors());
+        assert_eq!(cloned.metrics(), Metrics::default());
+        // Clone answers queries identically.
+        for x in g.vertices() {
+            assert_eq!(cloned.follower_count_of(x), st.follower_count_of(x));
+        }
+    }
+
+    #[test]
+    fn random_graphs_followers_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+        for trial in 0..15 {
+            let n = 25usize;
+            let mut g = Graph::new(n);
+            for _ in 0..70 {
+                let u = rng.gen_range(0..n) as VertexId;
+                let v = rng.gen_range(0..n) as VertexId;
+                if u != v && !g.has_edge(u, v) {
+                    g.insert_edge(u, v).unwrap();
+                }
+            }
+            let k = 2 + (trial % 3) as u32;
+            let mut st = AnchoredCoreState::new(&g, k);
+            for x in g.vertices() {
+                let mut fast = st.followers_of(x);
+                fast.sort_unstable();
+                let naive = naive_followers(&g, k, &[], x);
+                assert_eq!(fast, naive, "trial {trial} k={k} anchor {x}");
+            }
+        }
+    }
+}

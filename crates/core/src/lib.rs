@@ -1,0 +1,47 @@
+//! Anchored Vertex Tracking (AVT) — the paper's contribution.
+//!
+//! Given an evolving graph, a degree threshold `k` and a budget `l`, AVT
+//! asks for an anchored vertex set of size at most `l` at *every* snapshot
+//! that maximizes the anchored k-core size (§2.2, Equation 1). The problem
+//! is NP-hard and `O(n^(1-ε))`-inapproximable for `k ≥ 3` (§3), so this
+//! crate implements the paper's heuristics and baselines:
+//!
+//! | Algorithm | Paper | Strategy |
+//! |-----------|-------|----------|
+//! | [`Greedy`] | Alg. 2, §4 | per snapshot, `l` rounds of best-anchor selection with Theorem-3 candidate pruning and order-based local follower computation |
+//! | [`IncAvt`] | Alg. 6, §5 | maintains the K-order across snapshots and local-searches the previous anchor set, probing only churn-impacted candidates |
+//! | [`Olak`]  | ref. \[37\] | per-snapshot greedy without the K-order pruning (larger candidate set, undirected shell search) |
+//! | [`Rcm`]   | ref. \[23\] | residual-degree anchor scores; exact evaluation only of the top-scored candidates |
+//! | [`BruteForce`] | §6.4 | exact enumeration of all size-≤l anchor sets (case study / small graphs) |
+//!
+//! All algorithms implement [`AvtAlgorithm`] and report both effectiveness
+//! (follower counts per snapshot) and the efficiency counters the paper
+//! plots ([`Metrics`]): wall time, candidates probed, and vertices visited.
+//!
+//! The shared engine is [`AnchoredCoreState`]: an anchored core
+//! decomposition overlay supporting exact local follower queries
+//! (forward-closure + fixpoint — the order-based acceleration of §4.2) and
+//! anchor commits.
+
+#![warn(missing_docs)]
+
+pub mod anchored;
+pub mod brute;
+pub mod drift;
+pub mod greedy;
+pub mod incavt;
+pub mod metrics;
+pub mod olak;
+pub mod oracle;
+pub mod params;
+pub mod rcm;
+pub mod reduction;
+
+pub use anchored::AnchoredCoreState;
+pub use brute::BruteForce;
+pub use greedy::{Greedy, GreedyConfig};
+pub use incavt::IncAvt;
+pub use metrics::Metrics;
+pub use olak::Olak;
+pub use params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
+pub use rcm::Rcm;

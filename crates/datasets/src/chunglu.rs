@@ -1,0 +1,109 @@
+//! Chung–Lu power-law random graphs.
+//!
+//! Endpoints of each edge are drawn with probability proportional to a
+//! power-law weight sequence `w_i ∝ (i + i0)^(-1/(γ-1))`, which yields a
+//! degree distribution with exponent ≈ γ — the standard stand-in for
+//! social and communication networks (email-Enron, Deezer, mathoverflow,
+//! CollegeMsg).
+
+use std::collections::HashSet;
+
+use avt_graph::{Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::er::edge_key;
+
+/// Generate a Chung–Lu graph with `n` vertices, ~`m` edges and power-law
+/// exponent `gamma` (2 < gamma ≤ 3.5 is typical; smaller = heavier hubs).
+/// Deterministic in `seed`.
+pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> Graph {
+    assert!(gamma > 1.5, "gamma must exceed 1.5 for a meaningful tail");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let target = m.min(max_edges);
+
+    // Weight sequence and cumulative distribution for endpoint sampling.
+    let alpha = 1.0 / (gamma - 1.0);
+    let i0 = 5.0; // offset keeps the largest weights bounded
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += (i as f64 + i0).powf(-alpha);
+        cumulative.push(total);
+    }
+
+    let sample = |rng: &mut SmallRng| -> VertexId {
+        let x = rng.gen_range(0.0..total);
+        cumulative.partition_point(|&c| c <= x).min(n - 1) as VertexId
+    };
+
+    let mut graph = Graph::new(n);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(target * 2);
+    let mut attempts = 0usize;
+    let attempt_budget = target.saturating_mul(50) + 1000;
+    while graph.num_edges() < target && attempts < attempt_budget {
+        attempts += 1;
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u == v {
+            continue;
+        }
+        if seen.insert(edge_key(u, v)) {
+            graph.insert_edge(u, v).expect("unseen edge cannot conflict");
+        }
+    }
+    // Dense corner cases (tiny n with large m) can exhaust rejection
+    // sampling; top up uniformly so the edge count contract holds.
+    while graph.num_edges() < target {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v && seen.insert(edge_key(u, v)) {
+            graph.insert_edge(u, v).expect("unseen edge cannot conflict");
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = chung_lu(500, 1500, 2.5, 42);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 1500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = chung_lu(200, 600, 2.5, 9);
+        let b = chung_lu(200, 600, 2.5, 9);
+        assert!(a.is_isomorphic_identity(&b));
+    }
+
+    #[test]
+    fn has_heavier_hubs_than_er() {
+        let cl = chung_lu(1000, 5000, 2.2, 5);
+        let er = crate::er::gnm(1000, 5000, 5);
+        assert!(
+            cl.max_degree() > 2 * er.max_degree(),
+            "Chung-Lu max degree {} should dominate ER's {}",
+            cl.max_degree(),
+            er.max_degree()
+        );
+    }
+
+    #[test]
+    fn small_dense_corner_case_terminates() {
+        let g = chung_lu(6, 15, 2.5, 1);
+        assert_eq!(g.num_edges(), 15); // complete graph K6
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_degenerate_gamma() {
+        let _ = chung_lu(10, 10, 1.0, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The paper's synthetic evolution model (§6.1).
+//!
+//! > "we randomly remove 100−250 edges from T1 … and randomly add 100−250
+//! > new edges … By repeating the similar operation, we generate 30
+//! > snapshots for each dataset."
+//!
+//! [`evolve`] applies exactly that recipe to any base graph, with the churn
+//! volume scalable for smaller experiments.
+
+use std::collections::HashSet;
+
+use avt_graph::{Edge, EdgeBatch, EvolvingGraph, Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::er::edge_key;
+
+/// Parameters of the churn model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// Total number of snapshots `T` (including the initial one).
+    pub snapshots: usize,
+    /// Minimum edges removed per step (paper: 100).
+    pub remove_min: usize,
+    /// Maximum edges removed per step (paper: 250).
+    pub remove_max: usize,
+    /// Minimum edges inserted per step (paper: 100).
+    pub insert_min: usize,
+    /// Maximum edges inserted per step (paper: 250).
+    pub insert_max: usize,
+}
+
+impl Default for ChurnConfig {
+    /// The paper's setting: 30 snapshots, 100-250 edges each way.
+    fn default() -> Self {
+        ChurnConfig {
+            snapshots: 30,
+            remove_min: 100,
+            remove_max: 250,
+            insert_min: 100,
+            insert_max: 250,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Scale the churn volume (for reduced-size experiment runs); snapshot
+    /// count is preserved, per-step volumes are scaled with a floor of 1.
+    pub fn scaled(&self, factor: f64) -> ChurnConfig {
+        let s = |x: usize| ((x as f64 * factor).round() as usize).max(1);
+        ChurnConfig {
+            snapshots: self.snapshots,
+            remove_min: s(self.remove_min),
+            remove_max: s(self.remove_max),
+            insert_min: s(self.insert_min),
+            insert_max: s(self.insert_max),
+        }
+    }
+}
+
+/// Apply the churn model to `base`, producing `config.snapshots` snapshots.
+/// Deterministic in `seed`. Removals are sampled uniformly from the
+/// current edges, insertions uniformly from the current non-edges.
+pub fn evolve(base: Graph, config: ChurnConfig, seed: u64) -> EvolvingGraph {
+    assert!(config.snapshots >= 1, "need at least one snapshot");
+    assert!(config.remove_min <= config.remove_max && config.insert_min <= config.insert_max);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = base.num_vertices();
+
+    let mut edges: Vec<Edge> = base.edges().collect();
+    let mut present: HashSet<u64> = edges.iter().map(|e| edge_key(e.u, e.v)).collect();
+
+    let mut evolving = EvolvingGraph::new(base);
+    let mut deleted_this_step: HashSet<u64> = HashSet::new();
+    for _ in 1..config.snapshots {
+        let removals = rng.gen_range(config.remove_min..=config.remove_max).min(edges.len());
+        let mut deleted = Vec::with_capacity(removals);
+        deleted_this_step.clear();
+        for _ in 0..removals {
+            let i = rng.gen_range(0..edges.len());
+            let e = edges.swap_remove(i);
+            let key = edge_key(e.u, e.v);
+            present.remove(&key);
+            deleted_this_step.insert(key);
+            deleted.push(e);
+        }
+
+        let insertions = rng.gen_range(config.insert_min..=config.insert_max);
+        let mut inserted = Vec::with_capacity(insertions);
+        let mut attempts = 0usize;
+        while inserted.len() < insertions && attempts < insertions * 100 + 1000 {
+            attempts += 1;
+            let u = rng.gen_range(0..n) as VertexId;
+            let v = rng.gen_range(0..n) as VertexId;
+            if u == v {
+                continue;
+            }
+            let key = edge_key(u, v);
+            // Batches apply insertions before deletions (Algorithm 6), so
+            // re-inserting an edge removed in this very step would clash
+            // with its still-present copy. Skip those.
+            if deleted_this_step.contains(&key) {
+                continue;
+            }
+            if present.insert(key) {
+                let e = Edge::new(u, v);
+                edges.push(e);
+                inserted.push(e);
+            }
+        }
+
+        evolving.push_batch(EdgeBatch { insertions: inserted, deletions: deleted });
+    }
+    evolving
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::gnm;
+
+    #[test]
+    fn produces_requested_snapshot_count() {
+        let base = gnm(200, 800, 1);
+        let config = ChurnConfig { snapshots: 5, ..ChurnConfig::default().scaled(0.1) };
+        let eg = evolve(base, config, 2);
+        assert_eq!(eg.num_snapshots(), 5);
+    }
+
+    #[test]
+    fn batches_apply_cleanly() {
+        let base = gnm(150, 600, 3);
+        let config = ChurnConfig { snapshots: 8, ..ChurnConfig::default().scaled(0.05) };
+        let eg = evolve(base, config, 4);
+        // validate() materializes through every batch and fails on any
+        // duplicate insert / missing delete.
+        let last = eg.validate().unwrap();
+        assert!(last.num_edges() > 0);
+    }
+
+    #[test]
+    fn churn_volume_within_bounds() {
+        let base = gnm(300, 2000, 5);
+        let config = ChurnConfig {
+            snapshots: 4,
+            remove_min: 10,
+            remove_max: 20,
+            insert_min: 15,
+            insert_max: 25,
+        };
+        let eg = evolve(base, config, 6);
+        for batch in eg.batches() {
+            assert!((10..=20).contains(&batch.deletions.len()));
+            assert!((15..=25).contains(&batch.insertions.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = ChurnConfig { snapshots: 4, ..ChurnConfig::default().scaled(0.05) };
+        let a = evolve(gnm(100, 400, 9), config, 77);
+        let b = evolve(gnm(100, 400, 9), config, 77);
+        for t in 1..=4 {
+            assert!(a
+                .snapshot(t)
+                .unwrap()
+                .is_isomorphic_identity(&b.snapshot(t).unwrap()));
+        }
+    }
+
+    #[test]
+    fn scaled_config_floors_at_one() {
+        let c = ChurnConfig::default().scaled(0.0001);
+        assert!(c.remove_min >= 1 && c.insert_min >= 1);
+        assert!(c.remove_min <= c.remove_max);
+    }
+
+    #[test]
+    fn paper_default_matches_section_6_1() {
+        let c = ChurnConfig::default();
+        assert_eq!(c.snapshots, 30);
+        assert_eq!((c.remove_min, c.remove_max), (100, 250));
+        assert_eq!((c.insert_min, c.insert_max), (100, 250));
+    }
+}

@@ -1,0 +1,248 @@
+//! The evolving-graph model `G = {G_t}_{t=1..T}`.
+//!
+//! The paper models a dynamic network as a sequence of snapshots sharing one
+//! vertex set, with consecutive snapshots related by edge insertions `E+`
+//! and deletions `E-`. Storing `T` full snapshots would be wasteful and —
+//! more importantly — would hide the deltas the incremental algorithm feeds
+//! on, so an [`EvolvingGraph`] is the initial snapshot plus `T-1` batches.
+
+use crate::{EdgeBatch, Graph, GraphError, VertexId};
+
+/// An evolving graph: snapshot `G_1` plus the per-step churn.
+///
+/// Snapshot indices are 1-based to match the paper (`t ∈ [1, T]`).
+///
+/// # Example
+///
+/// ```
+/// use avt_graph::{EvolvingGraph, EdgeBatch, Graph};
+///
+/// let g1 = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+/// let mut eg = EvolvingGraph::new(g1);
+/// eg.push_batch(EdgeBatch::from_pairs([(2, 3)], [(0, 1)]));
+/// assert_eq!(eg.num_snapshots(), 2);
+/// let g2 = eg.snapshot(2).unwrap();
+/// assert!(g2.has_edge(2, 3));
+/// assert!(!g2.has_edge(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvolvingGraph {
+    initial: Graph,
+    batches: Vec<EdgeBatch>,
+}
+
+impl EvolvingGraph {
+    /// Wrap a single snapshot (T = 1).
+    pub fn new(initial: Graph) -> Self {
+        EvolvingGraph { initial, batches: Vec::new() }
+    }
+
+    /// Build from an initial snapshot and pre-computed batches.
+    pub fn with_batches(initial: Graph, batches: Vec<EdgeBatch>) -> Self {
+        EvolvingGraph { initial, batches }
+    }
+
+    /// Append the churn producing snapshot `T+1`.
+    pub fn push_batch(&mut self, batch: EdgeBatch) {
+        self.batches.push(batch);
+    }
+
+    /// Number of snapshots `T`.
+    pub fn num_snapshots(&self) -> usize {
+        self.batches.len() + 1
+    }
+
+    /// Shared vertex-set size.
+    pub fn num_vertices(&self) -> usize {
+        self.initial.num_vertices()
+    }
+
+    /// The first snapshot `G_1`.
+    pub fn initial(&self) -> &Graph {
+        &self.initial
+    }
+
+    /// The batch transforming `G_t` into `G_{t+1}` (`t` 1-based,
+    /// `1 <= t < T`).
+    pub fn batch(&self, t: usize) -> Option<&EdgeBatch> {
+        if t == 0 {
+            return None;
+        }
+        self.batches.get(t - 1)
+    }
+
+    /// All batches in order.
+    pub fn batches(&self) -> &[EdgeBatch] {
+        &self.batches
+    }
+
+    /// Materialize snapshot `G_t` (`t` 1-based). O(m + churn up to t).
+    pub fn snapshot(&self, t: usize) -> Result<Graph, GraphError> {
+        if t == 0 || t > self.num_snapshots() {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!(
+                    "snapshot index {t} out of range 1..={}",
+                    self.num_snapshots()
+                ),
+            });
+        }
+        let mut g = self.initial.clone();
+        for batch in &self.batches[..t - 1] {
+            g.apply_batch(batch)?;
+        }
+        Ok(g)
+    }
+
+    /// Iterate over snapshots `G_1..G_T`, materializing incrementally (each
+    /// step costs only the batch size, not O(m)).
+    pub fn snapshots(&self) -> SnapshotIter<'_> {
+        SnapshotIter { evolving: self, current: None, next_t: 1 }
+    }
+
+    /// Truncate to the first `t` snapshots (used by the `T`-sweep
+    /// experiments). No-op if `t >= T`.
+    pub fn truncated(&self, t: usize) -> EvolvingGraph {
+        let keep = t.saturating_sub(1).min(self.batches.len());
+        EvolvingGraph {
+            initial: self.initial.clone(),
+            batches: self.batches[..keep].to_vec(),
+        }
+    }
+
+    /// Total churn volume across all batches (|E+| + |E-| summed).
+    pub fn total_churn(&self) -> usize {
+        self.batches.iter().map(EdgeBatch::len).sum()
+    }
+
+    /// Validate that every batch applies cleanly, returning the final
+    /// snapshot. O(total churn).
+    pub fn validate(&self) -> Result<Graph, GraphError> {
+        self.snapshot(self.num_snapshots())
+    }
+}
+
+/// Iterator over `(t, G_t)` produced by [`EvolvingGraph::snapshots`].
+pub struct SnapshotIter<'a> {
+    evolving: &'a EvolvingGraph,
+    current: Option<Graph>,
+    next_t: usize,
+}
+
+impl<'a> Iterator for SnapshotIter<'a> {
+    type Item = (usize, Graph);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let t = self.next_t;
+        if t > self.evolving.num_snapshots() {
+            return None;
+        }
+        let g = match self.current.take() {
+            None => self.evolving.initial.clone(),
+            Some(mut g) => {
+                let batch = self
+                    .evolving
+                    .batch(t - 1)
+                    .expect("batch t-1 exists because t <= num_snapshots");
+                g.apply_batch(batch).expect("evolving graph batches must apply cleanly");
+                g
+            }
+        };
+        self.current = Some(g.clone());
+        self.next_t += 1;
+        Some((t, g))
+    }
+}
+
+/// Convenience: the set of vertices touched by a batch (endpoints of all
+/// events), deduplicated.
+pub fn touched_vertices(batch: &EdgeBatch) -> Vec<VertexId> {
+    let mut out: Vec<VertexId> = batch
+        .insertions
+        .iter()
+        .chain(batch.deletions.iter())
+        .flat_map(|e| e.endpoints())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EvolvingGraph {
+        let g1 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut eg = EvolvingGraph::new(g1);
+        eg.push_batch(EdgeBatch::from_pairs([(3, 4)], []));
+        eg.push_batch(EdgeBatch::from_pairs([(0, 4)], [(0, 1)]));
+        eg
+    }
+
+    #[test]
+    fn snapshot_count_and_vertices() {
+        let eg = sample();
+        assert_eq!(eg.num_snapshots(), 3);
+        assert_eq!(eg.num_vertices(), 5);
+        assert_eq!(eg.total_churn(), 3);
+    }
+
+    #[test]
+    fn snapshot_materialization() {
+        let eg = sample();
+        let g1 = eg.snapshot(1).unwrap();
+        assert_eq!(g1.num_edges(), 3);
+        let g2 = eg.snapshot(2).unwrap();
+        assert!(g2.has_edge(3, 4));
+        assert_eq!(g2.num_edges(), 4);
+        let g3 = eg.snapshot(3).unwrap();
+        assert!(g3.has_edge(0, 4));
+        assert!(!g3.has_edge(0, 1));
+        assert_eq!(g3.num_edges(), 4);
+    }
+
+    #[test]
+    fn snapshot_index_bounds() {
+        let eg = sample();
+        assert!(eg.snapshot(0).is_err());
+        assert!(eg.snapshot(4).is_err());
+    }
+
+    #[test]
+    fn snapshots_iterator_matches_materialization() {
+        let eg = sample();
+        let via_iter: Vec<(usize, usize)> =
+            eg.snapshots().map(|(t, g)| (t, g.num_edges())).collect();
+        assert_eq!(via_iter, vec![(1, 3), (2, 4), (3, 4)]);
+        for (t, g) in eg.snapshots() {
+            assert!(g.is_isomorphic_identity(&eg.snapshot(t).unwrap()));
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let eg = sample();
+        let short = eg.truncated(2);
+        assert_eq!(short.num_snapshots(), 2);
+        assert!(short.snapshot(2).unwrap().has_edge(3, 4));
+        // over-truncation is a no-op
+        assert_eq!(eg.truncated(99).num_snapshots(), 3);
+        // truncating to 1 keeps only the initial snapshot
+        assert_eq!(eg.truncated(1).num_snapshots(), 1);
+    }
+
+    #[test]
+    fn validate_detects_bad_batches() {
+        let g1 = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let mut eg = EvolvingGraph::new(g1);
+        eg.push_batch(EdgeBatch::from_pairs([(0, 1)], [])); // duplicate insert
+        assert!(eg.validate().is_err());
+    }
+
+    #[test]
+    fn touched_vertices_deduplicates() {
+        let batch = EdgeBatch::from_pairs([(0, 1), (1, 2)], [(2, 3)]);
+        assert_eq!(touched_vertices(&batch), vec![0, 1, 2, 3]);
+    }
+}

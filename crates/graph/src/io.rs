@@ -1,0 +1,209 @@
+//! SNAP-style edge-list parsing and writing.
+//!
+//! Two formats are supported, matching the datasets in the paper's §6.1:
+//!
+//! * **static**: one `u v` pair per line (email-Enron, Gnutella, Deezer);
+//! * **temporal**: one `u v timestamp` triple per line (eu-core,
+//!   mathoverflow, CollegeMsg).
+//!
+//! Lines starting with `#` or `%` are comments. Tokens may be separated by
+//! any ASCII whitespace. Parsing is tolerant of duplicate edges and
+//! self-loops (they are dropped, with counts reported via
+//! [`crate::builder::BuiltGraph`]).
+
+use std::io::{BufRead, Write};
+
+use crate::{GraphBuilder, GraphError, VertexId};
+use crate::builder::BuiltGraph;
+use crate::graph::Graph;
+
+/// A timestamped interaction `(u, v, t)` from a temporal edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalEdge {
+    /// First endpoint (raw id).
+    pub u: u64,
+    /// Second endpoint (raw id).
+    pub v: u64,
+    /// Event time (seconds or arbitrary units, monotone per dataset).
+    pub timestamp: u64,
+}
+
+fn is_comment(line: &str) -> bool {
+    matches!(line.trim_start().chars().next(), Some('#') | Some('%') | None)
+}
+
+fn parse_token(tok: &str, line_no: usize) -> Result<u64, GraphError> {
+    tok.parse::<u64>().map_err(|_| GraphError::Parse {
+        line: line_no,
+        message: format!("expected unsigned integer, found {tok:?}"),
+    })
+}
+
+/// Parse a static edge list from a reader into a clean dense graph.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BuiltGraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: line_no,
+            message: format!("I/O error: {e}"),
+        })?;
+        if is_comment(&line) {
+            continue;
+        }
+        let mut toks = line.split_ascii_whitespace();
+        let (Some(a), Some(b)) = (toks.next(), toks.next()) else {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "expected two whitespace-separated vertex ids".into(),
+            });
+        };
+        builder.add_edge(parse_token(a, line_no)?, parse_token(b, line_no)?);
+    }
+    Ok(builder.build())
+}
+
+/// Parse a static edge list from a string.
+pub fn parse_edge_list(text: &str) -> Result<BuiltGraph, GraphError> {
+    read_edge_list(text.as_bytes())
+}
+
+/// Parse a temporal edge list (`u v timestamp` per line). Events are
+/// returned in file order; callers sort by timestamp as needed.
+pub fn read_temporal_edge_list<R: BufRead>(reader: R) -> Result<Vec<TemporalEdge>, GraphError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: line_no,
+            message: format!("I/O error: {e}"),
+        })?;
+        if is_comment(&line) {
+            continue;
+        }
+        let mut toks = line.split_ascii_whitespace();
+        let (Some(a), Some(b), Some(t)) = (toks.next(), toks.next(), toks.next()) else {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "expected `u v timestamp`".into(),
+            });
+        };
+        out.push(TemporalEdge {
+            u: parse_token(a, line_no)?,
+            v: parse_token(b, line_no)?,
+            timestamp: parse_token(t, line_no)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse a temporal edge list from a string.
+pub fn parse_temporal_edge_list(text: &str) -> Result<Vec<TemporalEdge>, GraphError> {
+    read_temporal_edge_list(text.as_bytes())
+}
+
+/// Write a graph as a static edge list (one normalized edge per line) with a
+/// SNAP-style header comment.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# Undirected graph: {} nodes, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for e in graph.edges() {
+        writeln!(writer, "{}\t{}", e.u, e.v)?;
+    }
+    Ok(())
+}
+
+/// Render a graph to an edge-list string (round-trips through
+/// [`parse_edge_list`] up to vertex densification).
+pub fn edge_list_string(graph: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(graph, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("edge list output is ASCII")
+}
+
+/// Densify a set of temporal edges: returns `(n, events)` where events use
+/// dense vertex ids `0..n` and are sorted by timestamp (stable for ties).
+pub fn densify_temporal(events: &[TemporalEdge]) -> (usize, Vec<(VertexId, VertexId, u64)>) {
+    let mut ids: Vec<u64> = events.iter().flat_map(|e| [e.u, e.v]).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let dense = |raw: u64| -> VertexId {
+        ids.binary_search(&raw).expect("id was collected above") as VertexId
+    };
+    let mut out: Vec<(VertexId, VertexId, u64)> =
+        events.iter().map(|e| (dense(e.u), dense(e.v), e.timestamp)).collect();
+    out.sort_by_key(|&(_, _, t)| t);
+    (ids.len(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let built = parse_edge_list("# comment\n0 1\n1 2\n\n% also comment\n2 0\n").unwrap();
+        assert_eq!(built.graph.num_vertices(), 3);
+        assert_eq!(built.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn tolerates_duplicates_and_self_loops() {
+        let built = parse_edge_list("0 1\n1 0\n2 2\n0 1\n").unwrap();
+        assert_eq!(built.graph.num_edges(), 1);
+        assert_eq!(built.dropped_duplicates, 2);
+        assert_eq!(built.dropped_self_loops, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse_edge_list("0 1\nbogus\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = parse_edge_list("0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_edge_list("0 -3\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn tab_separated_ids_accepted() {
+        let built = parse_edge_list("10\t20\n20\t30\n").unwrap();
+        assert_eq!(built.graph.num_edges(), 2);
+        assert_eq!(built.original_ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn temporal_parse_and_densify() {
+        let events =
+            parse_temporal_edge_list("# t\n5 6 100\n6 7 50\n5 7 75\n").unwrap();
+        assert_eq!(events.len(), 3);
+        let (n, dense) = densify_temporal(&events);
+        assert_eq!(n, 3);
+        // sorted by timestamp: (6,7,50), (5,7,75), (5,6,100) -> dense ids 5->0,6->1,7->2
+        assert_eq!(dense, vec![(1, 2, 50), (0, 2, 75), (0, 1, 100)]);
+    }
+
+    #[test]
+    fn temporal_rejects_two_token_lines() {
+        assert!(parse_temporal_edge_list("1 2\n").is_err());
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let text = edge_list_string(&g);
+        let built = parse_edge_list(&text).unwrap();
+        assert!(built.graph.is_isomorphic_identity(&g));
+    }
+
+    #[test]
+    fn writer_emits_header() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let text = edge_list_string(&g);
+        assert!(text.starts_with("# Undirected graph: 2 nodes, 1 edges"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Dataset statistics (Table 2 of the paper).
+
+use crate::{Graph, VertexId};
+
+/// Summary statistics for one graph snapshot, mirroring the columns of the
+/// paper's Table 2 plus a few structural extras used in tests and the
+/// experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Number of connected components (isolated vertices each count as one).
+    pub components: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for `graph`. O(n + m).
+    pub fn compute(graph: &Graph) -> GraphStats {
+        let n = graph.num_vertices();
+        let mut seen = vec![false; n];
+        let mut components = 0usize;
+        let mut largest = 0usize;
+        let mut stack: Vec<VertexId> = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            stack.push(start as VertexId);
+            let mut size = 0usize;
+            while let Some(u) = stack.pop() {
+                size += 1;
+                for &w in graph.neighbors(u) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            largest = largest.max(size);
+        }
+        GraphStats {
+            nodes: n,
+            edges: graph.num_edges(),
+            avg_degree: graph.avg_degree(),
+            max_degree: graph.max_degree(),
+            isolated: graph.vertices().filter(|&v| graph.degree(v) == 0).count(),
+            components,
+            largest_component: largest,
+        }
+    }
+
+    /// One row of a Table-2 style report.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name:<16} {:>9} {:>10} {:>7.2} {:>8} {:>8}",
+            self.nodes, self.edges, self.avg_degree, self.max_degree, self.components
+        )
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_two_triangles_and_isolate() {
+        // vertices 0-2 triangle, 3-5 triangle, 6 isolated
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.edges, 6);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.largest_component, 3);
+        assert!((s.avg_degree - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::compute(&Graph::new(0));
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.largest_component, 0);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn table_row_contains_counts() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let row = GraphStats::compute(&g).table_row("tiny");
+        assert!(row.contains("tiny"));
+        assert!(row.contains('3'));
+    }
+}

@@ -1,0 +1,63 @@
+//! Advertising placement analysis (the paper's §1 application: "the AVT
+//! study can continuously track the critical users to locate a set of
+//! users who favor propagating the advertisements at different times").
+//!
+//! ```text
+//! cargo run --release --example ad_placement
+//! ```
+//!
+//! Tracks the anchor set over a CollegeMsg-like temporal message network
+//! and reports how it drifts (Jaccard similarity between consecutive
+//! anchor sets) plus each anchor's "reach" (followers it retains). A
+//! volatile anchor set is the signal that placement must be refreshed.
+
+use avt::algo::{AvtAlgorithm, AvtParams, IncAvt};
+use avt::datasets::Dataset;
+use avt::graph::VertexId;
+use avt_core::drift::{analyze, jaccard};
+
+fn main() {
+    let snapshots = 15;
+    let params = AvtParams::new(4, 4);
+    let evolving = Dataset::CollegeMsg.generate(0.2, snapshots, 11);
+    println!(
+        "CollegeMsg-like message network: {} users, {} snapshots, k = {}, l = {}\n",
+        evolving.num_vertices(),
+        snapshots,
+        params.k,
+        params.l
+    );
+
+    let result = IncAvt.track(&evolving, params).expect("dataset is consistent");
+
+    println!("snapshot  anchors (ad targets)          reach  drift vs previous");
+    let mut previous: Option<Vec<VertexId>> = None;
+    for report in &result.reports {
+        let drift = match &previous {
+            Some(prev) => format!("{:.0}% kept", jaccard(prev, &report.anchors) * 100.0),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:>8}  {:<28}  {:>5}  {}",
+            report.t,
+            format!("{:?}", report.anchors),
+            report.followers.len(),
+            drift
+        );
+        previous = Some(report.anchors.clone());
+    }
+
+    let drift = analyze(&result);
+    println!(
+        "\n{} distinct users anchored across {} snapshots; average anchor turnover \
+         per step: {:.0}% — static placement would miss the audience that often.",
+        drift.distinct_anchors,
+        snapshots,
+        100.0 * (1.0 - drift.mean_stability)
+    );
+    if let Some((&veteran, &steps)) = drift.lifetimes.iter().max_by_key(|&(_, &s)| s) {
+        println!(
+            "Longest-serving target: user {veteran}, selected in {steps}/{snapshots} snapshots."
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Community retention on an evolving social network (the paper's §1
+//! motivation: sustainable analysis of social networks).
+//!
+//! ```text
+//! cargo run --release --example community_retention
+//! ```
+//!
+//! A Deezer-like social network churns for 12 snapshots. A community
+//! manager with budget `l` keeps that many users engaged with incentives;
+//! this example compares doing nothing, freezing the anchor set chosen at
+//! t=1 ("set and forget"), and re-tracking anchors with IncAVT — showing
+//! why tracking matters.
+
+use avt::algo::{AvtAlgorithm, AvtParams, Greedy, IncAvt};
+use avt::datasets::Dataset;
+use avt::kcore::k_core_size;
+use avt::kcore::CoreDecomposition;
+use avt_core::oracle::naive_anchored_core_size;
+
+fn main() {
+    let snapshots = 12;
+    let params = AvtParams::new(3, 5);
+    let evolving = Dataset::Deezer.generate(0.02, snapshots, 7);
+    println!(
+        "Deezer-like network: {} users, {} friendships, {} snapshots, k = {}, budget l = {}\n",
+        evolving.num_vertices(),
+        evolving.initial().num_edges(),
+        snapshots,
+        params.k,
+        params.l
+    );
+
+    // Strategy 1: set-and-forget — anchors chosen at t=1, never revisited.
+    let first_only = Greedy::default()
+        .track(&evolving.truncated(1), params)
+        .expect("dataset is consistent");
+    let frozen = first_only.anchor_sets[0].clone();
+
+    // Strategy 2: incremental tracking.
+    let tracked = IncAvt.track(&evolving, params).expect("dataset is consistent");
+
+    println!("snapshot  no-anchors  frozen-S1  tracked-AVT  tracked anchors");
+    let mut frozen_total = 0usize;
+    let mut tracked_total = 0usize;
+    for (t, graph) in evolving.snapshots() {
+        let base = k_core_size(CoreDecomposition::compute(&graph).cores(), params.k);
+        let frozen_size = naive_anchored_core_size(&graph, params.k, &frozen);
+        let tracked_size = tracked.reports[t - 1].anchored_core_size;
+        frozen_total += frozen_size - base;
+        tracked_total += tracked_size - base;
+        println!(
+            "{t:>8}  {base:>10}  {frozen_size:>9}  {tracked_size:>11}  {:?}",
+            tracked.anchor_sets[t - 1]
+        );
+    }
+    let improvement = if frozen_total > 0 {
+        100.0 * (tracked_total as f64 - frozen_total as f64) / frozen_total as f64
+    } else {
+        0.0
+    };
+    println!(
+        "\nEngagement gained over the no-anchor baseline: frozen {frozen_total} vs \
+         tracked {tracked_total} (+{improvement:.0}% from re-tracking)."
+    );
+}

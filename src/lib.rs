@@ -1,0 +1,51 @@
+//! # avt — Anchored Vertex Tracking in dynamic social networks
+//!
+//! A faithful, from-scratch Rust reproduction of *"Incremental Graph
+//! Computation: Anchored Vertex Tracking in Dynamic Social Networks"*
+//! (ICDE 2024 extended abstract; full version arXiv:2105.04742).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — dynamic undirected graphs, edge batches, evolving graphs.
+//! * [`kcore`] — k-core decomposition, the K-order index, and incremental
+//!   (order-based) core maintenance under edge insertions and deletions.
+//! * [`algo`] — the paper's contribution: anchored k-core machinery,
+//!   follower computation, the optimized **Greedy** algorithm, the
+//!   incremental **IncAVT** algorithm, and the **OLAK** / **RCM** /
+//!   brute-force baselines.
+//! * [`datasets`] — synthetic stand-ins for the paper's six SNAP datasets
+//!   plus generic generators (Erdős–Rényi, Chung–Lu, Barabási–Albert,
+//!   churn and temporal-window evolution models).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use avt::prelude::*;
+//!
+//! // The reading-hobby community of the paper's Figure 1, two snapshots.
+//! let eg = avt::datasets::figure1::evolving();
+//!
+//! // Track l = 2 anchors with degree threshold k = 3 over all snapshots.
+//! let params = AvtParams::new(3, 2);
+//! let result = Greedy::default().track(&eg, params).unwrap();
+//! assert_eq!(result.anchor_sets.len(), 2);
+//! // At t = 1, anchoring two vertices pulls 5 followers into the 3-core.
+//! assert_eq!(result.follower_counts[0], 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use avt_core as algo;
+pub use avt_datasets as datasets;
+pub use avt_graph as graph;
+pub use avt_kcore as kcore;
+
+/// Commonly used items, glob-importable.
+pub mod prelude {
+    pub use avt_core::{
+        AnchoredCoreState, AvtAlgorithm, AvtParams, AvtResult, BruteForce, Greedy, IncAvt,
+        Metrics, Olak, Rcm,
+    };
+    pub use avt_graph::{Edge, EdgeBatch, EvolvingGraph, Graph, GraphStats, VertexId};
+    pub use avt_kcore::{CoreDecomposition, KOrder};
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the dataset generators: size contracts, batch
+//! consistency, determinism, and the structural traits each stand-in must
+//! exhibit.
+
+use avt::datasets::{ba, chunglu, churn, er, temporal, ChurnConfig, TemporalConfig};
+use avt::graph::GraphStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ER hits the exact requested edge count and stays simple.
+    #[test]
+    fn er_size_contract(n in 10usize..120, m_factor in 1usize..4, seed in 0u64..1000) {
+        let m = n * m_factor;
+        let g = er::gnm(n, m, seed);
+        let max_edges = n * (n - 1) / 2;
+        prop_assert_eq!(g.num_edges(), m.min(max_edges));
+        // Simplicity: the edges() iterator yields distinct normalized pairs.
+        let mut edges: Vec<_> = g.edges().collect();
+        let before = edges.len();
+        edges.sort();
+        edges.dedup();
+        prop_assert_eq!(edges.len(), before);
+    }
+
+    /// Chung-Lu honours the edge budget for any admissible gamma.
+    #[test]
+    fn chung_lu_size_contract(n in 10usize..120, m_factor in 1usize..4, seed in 0u64..1000) {
+        let m = n * m_factor;
+        let g = chunglu::chung_lu(n, m, 2.5, seed);
+        let max_edges = n * (n - 1) / 2;
+        prop_assert_eq!(g.num_edges(), m.min(max_edges));
+    }
+
+    /// BA graphs keep minimum degree m and stay connected.
+    #[test]
+    fn ba_min_degree_and_connectivity(n in 10usize..80, m in 1usize..5, seed in 0u64..1000) {
+        prop_assume!(n > m + 1);
+        let g = ba::barabasi_albert(n, m, seed);
+        for v in g.vertices() {
+            prop_assert!(g.degree(v) >= m);
+        }
+        let stats = GraphStats::compute(&g);
+        prop_assert_eq!(stats.components, 1);
+    }
+
+    /// Churn evolution always produces applicable batches within bounds.
+    #[test]
+    fn churn_batches_apply(seed in 0u64..500, snapshots in 2usize..8) {
+        let base = er::gnm(60, 200, seed);
+        let config = ChurnConfig {
+            snapshots,
+            remove_min: 2,
+            remove_max: 6,
+            insert_min: 2,
+            insert_max: 6,
+        };
+        let eg = churn::evolve(base, config, seed + 1);
+        prop_assert_eq!(eg.num_snapshots(), snapshots);
+        let final_graph = eg.validate().expect("batches apply cleanly");
+        prop_assert!(final_graph.num_edges() > 0);
+        for batch in eg.batches() {
+            prop_assert!((2..=6).contains(&batch.deletions.len()));
+            prop_assert!((2..=6).contains(&batch.insertions.len()));
+        }
+    }
+
+    /// Temporal streams produce valid snapshot sequences and respect the
+    /// window: any edge alive at snapshot t has an event within W of the
+    /// period end.
+    #[test]
+    fn temporal_window_semantics(seed in 0u64..200) {
+        let config = TemporalConfig {
+            n: 40,
+            events: 400,
+            horizon: 200,
+            window: 60,
+            snapshots: 5,
+            ..TemporalConfig::default()
+        };
+        let events = temporal::generate_events(config, seed);
+        let eg = temporal::snapshots_from_events(
+            config.n, &events, config.horizon, config.window, config.snapshots,
+        );
+        eg.validate().expect("snapshots are consistent");
+        for t in 1..=config.snapshots {
+            let period_end = config.horizon * t as u64 / config.snapshots as u64;
+            let cutoff = period_end.saturating_sub(config.window);
+            let g = eg.snapshot(t).unwrap();
+            for e in g.edges() {
+                let recent = events.iter().any(|&(a, b, ts)| {
+                    let (a, b) = if a < b { (a, b) } else { (b, a) };
+                    (a, b) == (e.u, e.v) && ts <= period_end && ts >= cutoff
+                });
+                prop_assert!(
+                    recent,
+                    "edge ({}, {}) alive at t={} without a recent event", e.u, e.v, t
+                );
+            }
+        }
+    }
+
+    /// Every generator is deterministic in its seed.
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..200) {
+        let a = er::gnm(50, 120, seed);
+        let b = er::gnm(50, 120, seed);
+        prop_assert!(a.is_isomorphic_identity(&b));
+        let a = chunglu::chung_lu(50, 120, 2.3, seed);
+        let b = chunglu::chung_lu(50, 120, 2.3, seed);
+        prop_assert!(a.is_isomorphic_identity(&b));
+    }
+}
+
+#[test]
+fn registry_stand_ins_are_valid_and_deterministic() {
+    use avt::datasets::Dataset;
+    for ds in Dataset::ALL {
+        let a = ds.generate(0.01, 4, 5);
+        let b = ds.generate(0.01, 4, 5);
+        assert_eq!(a.num_snapshots(), 4, "{}", ds.spec().name);
+        a.validate().unwrap_or_else(|e| panic!("{}: {e}", ds.spec().name));
+        assert!(
+            a.initial().is_isomorphic_identity(b.initial()),
+            "{} not deterministic",
+            ds.spec().name
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the anchored-core engine: follower queries,
+//! Theorem-3 candidate completeness, and commit/uncommit consistency.
+
+use avt::algo::AnchoredCoreState;
+use avt::graph::{Graph, VertexId};
+use avt_core::oracle::{naive_anchored_core_size, naive_followers};
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (5..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+fn build(n: usize, pairs: &[(u32, u32)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v) in pairs {
+        if u != v && !g.has_edge(u, v) {
+            g.insert_edge(u, v).unwrap();
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The forward-closure follower computation is exact: it matches the
+    /// whole-graph re-peel oracle for every anchor on every graph at every
+    /// small k.
+    #[test]
+    fn followers_match_oracle((n, pairs) in graph_strategy(30, 110), k in 2u32..5) {
+        let g = build(n, &pairs);
+        let mut state = AnchoredCoreState::new(&g, k);
+        for x in g.vertices() {
+            let mut fast = state.followers_of(x);
+            fast.sort_unstable();
+            let naive = naive_followers(&g, k, &[], x);
+            prop_assert_eq!(&fast, &naive, "anchor {} at k = {}", x, k);
+            // The OLAK-style unordered region gives the same answer.
+            let mut unordered = state.followers_of_unordered(x);
+            unordered.sort_unstable();
+            prop_assert_eq!(&unordered, &naive, "unordered anchor {} at k = {}", x, k);
+        }
+    }
+
+    /// Followers remain exact on top of committed anchors.
+    #[test]
+    fn followers_respect_commits(
+        (n, pairs) in graph_strategy(25, 90),
+        k in 2u32..4,
+        pick in 0u32..25,
+    ) {
+        let g = build(n, &pairs);
+        let first = pick % n as u32;
+        let mut state = AnchoredCoreState::new(&g, k);
+        if state.in_core(first) {
+            return Ok(()); // committing a core member is a no-op scenario
+        }
+        state.commit_anchor(first);
+        for x in g.vertices() {
+            if x == first {
+                continue;
+            }
+            let mut fast = state.followers_of(x);
+            fast.sort_unstable();
+            let naive = naive_followers(&g, k, &[first], x);
+            prop_assert_eq!(fast, naive, "anchor {} on top of {} at k = {}", x, first, k);
+        }
+    }
+
+    /// Theorem 3 completeness: every vertex with at least one follower is
+    /// in the pruned candidate set; no candidate is a core member.
+    #[test]
+    fn candidates_are_complete((n, pairs) in graph_strategy(30, 110), k in 2u32..5) {
+        let g = build(n, &pairs);
+        let mut state = AnchoredCoreState::new(&g, k);
+        let candidates = state.candidates();
+        for &c in &candidates {
+            prop_assert!(!state.in_core(c));
+        }
+        for x in g.vertices() {
+            if state.follower_count_of(x) > 0 {
+                prop_assert!(
+                    candidates.contains(&x),
+                    "vertex {} has followers but was pruned (k = {})", x, k
+                );
+            }
+        }
+        // The ordered candidate set is a subset of OLAK's unordered one.
+        let unordered = state.candidates_unordered();
+        for &c in &candidates {
+            prop_assert!(unordered.contains(&c));
+        }
+    }
+
+    /// The anchored core size bookkeeping matches the naive oracle through
+    /// arbitrary commit/uncommit sequences.
+    #[test]
+    fn core_size_matches_oracle_through_commits(
+        (n, pairs) in graph_strategy(25, 90),
+        picks in proptest::collection::vec(0u32..25, 1..5),
+        k in 2u32..4,
+    ) {
+        let g = build(n, &pairs);
+        let mut state = AnchoredCoreState::new(&g, k);
+        let mut committed: Vec<VertexId> = Vec::new();
+        for p in picks {
+            let v = p % n as u32;
+            if committed.contains(&v) {
+                state.uncommit_anchor(v);
+                committed.retain(|&a| a != v);
+            } else {
+                state.commit_anchor(v);
+                committed.push(v);
+            }
+            prop_assert_eq!(
+                state.anchored_core_size(),
+                naive_anchored_core_size(&g, k, &committed),
+                "anchors {:?} at k = {}", committed, k
+            );
+        }
+    }
+
+    /// follower_count_of agrees with followers_of().len() everywhere.
+    #[test]
+    fn counts_agree_with_sets((n, pairs) in graph_strategy(25, 90), k in 2u32..5) {
+        let g = build(n, &pairs);
+        let mut state = AnchoredCoreState::new(&g, k);
+        for x in g.vertices() {
+            prop_assert_eq!(state.followers_of(x).len(), state.follower_count_of(x));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the k-core substrate: decomposition, K-order
+//! validity, and incremental maintenance under arbitrary churn.
+
+use avt::graph::{Graph, VertexId};
+use avt::kcore::{CoreDecomposition, KOrder, MaintainedCore};
+use avt_kcore::verify::{assert_korder_valid, simple_core_numbers};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph as (n, edge list).
+fn graph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+/// Build a simple graph from possibly-duplicated random pairs.
+fn build(n: usize, pairs: &[(u32, u32)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v) in pairs {
+        if u != v && !g.has_edge(u, v) {
+            g.insert_edge(u, v).unwrap();
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bucket-peel core numbers always equal the naive oracle's.
+    #[test]
+    fn decomposition_matches_oracle((n, pairs) in graph_strategy(40, 150)) {
+        let g = build(n, &pairs);
+        let d = CoreDecomposition::compute(&g);
+        let oracle = simple_core_numbers(&g, &[]);
+        prop_assert_eq!(d.cores(), &oracle[..]);
+    }
+
+    /// Anchored decompositions match the oracle too.
+    #[test]
+    fn anchored_decomposition_matches_oracle(
+        (n, pairs) in graph_strategy(30, 100),
+        raw_anchors in proptest::collection::vec(0u32..30, 0..4),
+    ) {
+        let g = build(n, &pairs);
+        let mut anchors: Vec<VertexId> =
+            raw_anchors.into_iter().filter(|&a| (a as usize) < n).collect();
+        anchors.sort_unstable();
+        anchors.dedup();
+        let d = CoreDecomposition::compute_anchored(&g, &anchors);
+        let oracle = simple_core_numbers(&g, &anchors);
+        prop_assert_eq!(d.cores(), &oracle[..]);
+    }
+
+    /// The freshly built K-order always satisfies the validity invariant.
+    #[test]
+    fn fresh_korder_is_valid((n, pairs) in graph_strategy(40, 150)) {
+        let g = build(n, &pairs);
+        let korder = KOrder::from_graph(&g);
+        assert_korder_valid(&g, &korder);
+    }
+
+    /// deg+ never exceeds the core number (the peel-legality invariant the
+    /// follower computation leans on).
+    #[test]
+    fn deg_plus_bounded_by_core((n, pairs) in graph_strategy(40, 150)) {
+        let g = build(n, &pairs);
+        let korder = KOrder::from_graph(&g);
+        for v in g.vertices() {
+            prop_assert!(korder.deg_plus(&g, v) <= korder.core(v));
+        }
+    }
+
+    /// Incremental maintenance under arbitrary interleaved insertions and
+    /// deletions keeps cores exact and the K-order valid, and its change
+    /// sets cover exactly the vertices whose core moved.
+    #[test]
+    fn maintenance_tracks_scratch_recomputation(
+        (n, pairs) in graph_strategy(25, 70),
+        ops in proptest::collection::vec((any::<bool>(), 0u32..25, 0u32..25), 1..40),
+    ) {
+        let g = build(n, &pairs);
+        let mut mc = MaintainedCore::new(g.clone());
+        let mut reference = g;
+        for (insert, a, b) in ops {
+            let (u, v) = (a % n as u32, b % n as u32);
+            if u == v {
+                continue;
+            }
+            let before: Vec<u32> =
+                reference.vertices().map(|x| mc.core(x)).collect();
+            let changes = if insert && !reference.has_edge(u, v) {
+                reference.insert_edge(u, v).unwrap();
+                mc.insert_edge(u, v).unwrap()
+            } else if !insert && reference.has_edge(u, v) {
+                reference.remove_edge(u, v).unwrap();
+                mc.remove_edge(u, v).unwrap()
+            } else {
+                continue;
+            };
+            let fresh = CoreDecomposition::compute(&reference);
+            for x in reference.vertices() {
+                prop_assert_eq!(mc.core(x), fresh.core(x), "vertex {}", x);
+                let moved = before[x as usize] != fresh.core(x);
+                let reported = changes.promoted.contains(&x) || changes.demoted.contains(&x);
+                prop_assert_eq!(
+                    moved, reported,
+                    "vertex {} moved={} reported={}", x, moved, reported
+                );
+            }
+        }
+        assert_korder_valid(mc.graph(), mc.korder());
+    }
+}
+
+#[test]
+fn maintenance_batches_equal_edge_at_a_time() {
+    use avt::graph::EdgeBatch;
+    let g = build(
+        20,
+        &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 7), (7, 8), (8, 6)],
+    );
+    let batch = EdgeBatch::from_pairs([(0, 3), (6, 0), (9, 10)], [(2, 3), (4, 5)]);
+
+    let mut as_batch = MaintainedCore::new(g.clone());
+    as_batch.apply_batch(&batch).unwrap();
+
+    let mut one_by_one = MaintainedCore::new(g);
+    for e in &batch.insertions {
+        one_by_one.insert_edge(e.u, e.v).unwrap();
+    }
+    for e in &batch.deletions {
+        one_by_one.remove_edge(e.u, e.v).unwrap();
+    }
+
+    for v in as_batch.graph().vertices() {
+        assert_eq!(as_batch.core(v), one_by_one.core(v));
+    }
+}
