@@ -14,21 +14,14 @@ fn bench_ablation(c: &mut Criterion) {
 
     let variants: [(&str, GreedyConfig); 4] = [
         ("full", GreedyConfig::default()),
-        (
-            "no-pruning",
-            GreedyConfig { prune_candidates: false, ..GreedyConfig::default() },
-        ),
+        ("no-pruning", GreedyConfig { prune_candidates: false, ..GreedyConfig::default() }),
         (
             "no-order-followers",
             GreedyConfig { order_based_followers: false, ..GreedyConfig::default() },
         ),
         (
             "unoptimized",
-            GreedyConfig {
-                prune_candidates: false,
-                order_based_followers: false,
-                threads: 1,
-            },
+            GreedyConfig { prune_candidates: false, order_based_followers: false, threads: 1 },
         ),
     ];
 

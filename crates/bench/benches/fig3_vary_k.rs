@@ -18,15 +18,9 @@ fn bench_vary_k(c: &mut Criterion) {
         group.sample_size(10);
         for &k in ds.k_sweep() {
             for algo in algorithms() {
-                group.bench_with_input(
-                    BenchmarkId::new(algo.name(), k),
-                    &k,
-                    |b, &k| {
-                        b.iter(|| {
-                            algo.track(&eg, AvtParams::new(k, 5)).expect("tracking succeeds")
-                        })
-                    },
-                );
+                group.bench_with_input(BenchmarkId::new(algo.name(), k), &k, |b, &k| {
+                    b.iter(|| algo.track(&eg, AvtParams::new(k, 5)).expect("tracking succeeds"))
+                });
             }
         }
         group.finish();

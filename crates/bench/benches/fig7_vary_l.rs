@@ -16,8 +16,7 @@ fn bench_vary_l(c: &mut Criterion) {
         for algo in algorithms() {
             group.bench_with_input(BenchmarkId::new(algo.name(), l), &l, |b, &l| {
                 b.iter(|| {
-                    algo.track(&eg, AvtParams::new(ds.default_k(), l))
-                        .expect("tracking succeeds")
+                    algo.track(&eg, AvtParams::new(ds.default_k(), l)).expect("tracking succeeds")
                 })
             });
         }

@@ -18,9 +18,7 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| CoreDecomposition::compute(&graph))
     });
 
-    group.bench_function("korder-build-20k-100k", |b| {
-        b.iter(|| KOrder::from_graph(&graph))
-    });
+    group.bench_function("korder-build-20k-100k", |b| b.iter(|| KOrder::from_graph(&graph)));
 
     group.bench_function("follower-queries-all-candidates-k3", |b| {
         let mut state = AnchoredCoreState::new(&graph, 3);

@@ -30,6 +30,8 @@ experiments:
   table4    anchor/follower detail
 
 options:
+  --quick        smoke mode: tiny datasets, few snapshots (CI harness
+                 check); explicit flags below override it, in any order
   --scale S      dataset scale in (0, 1]   (default 0.02)
   --snapshots T  snapshot count            (default 30)
   --l L          anchor budget             (default 10)
@@ -44,9 +46,14 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = raw.iter().filter(|a| *a != "--quick").cloned();
     let experiment = args.next().ok_or_else(|| USAGE.to_string())?;
-    let mut ctx = Context::default();
+    // --quick selects the tiny baseline context regardless of its position;
+    // every explicit flag overrides it (it is filtered out of `args` above
+    // so the main loop never sees it).
+    let quick = raw.iter().any(|a| a == "--quick");
+    let mut ctx = if quick { Context::tiny() } else { Context::default() };
     let mut out = PathBuf::from("results");
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));

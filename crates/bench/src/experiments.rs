@@ -12,37 +12,23 @@ use crate::{algorithms, brute_force_reference, calibrate_k, Context};
 /// The T values plotted on the x-axis of Figures 5/6/9 (2, 6, 10, ... 30),
 /// clamped to the configured snapshot count.
 fn t_axis(snapshots: usize) -> Vec<usize> {
-    (1..)
-        .map(|i| 4 * i - 2)
-        .take_while(|&t| t <= snapshots)
-        .collect()
+    (1..).map(|i| 4 * i - 2).take_while(|&t| t <= snapshots).collect()
 }
 
 /// The l values of Figures 7/8/10, scaled down with the context budget.
 fn l_axis(l_default: usize) -> Vec<usize> {
-    [5usize, 10, 15, 20]
-        .iter()
-        .map(|&x| (x * l_default).div_ceil(10).max(1))
-        .collect()
+    [5usize, 10, 15, 20].iter().map(|&x| (x * l_default).div_ceil(10).max(1)).collect()
 }
 
-fn run(
-    algo: &dyn AvtAlgorithm,
-    evolving: &EvolvingGraph,
-    params: AvtParams,
-) -> AvtResult {
-    algo.track(evolving, params)
-        .expect("experiment datasets are internally consistent")
+fn run(algo: &dyn AvtAlgorithm, evolving: &EvolvingGraph, params: AvtParams) -> AvtResult {
+    algo.track(evolving, params).expect("experiment datasets are internally consistent")
 }
 
 /// Table 2: statistics of the generated stand-ins next to the paper's
 /// numbers.
 pub fn table2(ctx: &Context, datasets: &[Dataset]) -> Table {
     let mut table = Table::new(
-        format!(
-            "Table 2: dataset statistics at steady state (scale = {})",
-            ctx.scale
-        ),
+        format!("Table 2: dataset statistics at steady state (scale = {})", ctx.scale),
         &["dataset", "nodes", "edges", "davg", "paper_nodes", "paper_edges", "paper_davg", "type"],
     );
     for &ds in datasets {
@@ -51,9 +37,7 @@ pub fn table2(ctx: &Context, datasets: &[Dataset]) -> Table {
         // Temporal stand-ins ramp up from a sparse first period exactly
         // like the real streams; their Table 2 density is reached at
         // steady state, so measure the final snapshot.
-        let last = eg
-            .snapshot(eg.num_snapshots())
-            .expect("final snapshot exists");
+        let last = eg.snapshot(eg.num_snapshots()).expect("final snapshot exists");
         let stats = GraphStats::compute(&last);
         table.push_row(vec![
             spec.name.to_string(),
@@ -160,10 +144,8 @@ pub fn fig5_6(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
 
 /// Figures 7 and 8: total time and visited vertices with varying `l`.
 pub fn fig7_8(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
-    let mut time = Table::new(
-        "Figure 7: time (s) with varying l",
-        &["dataset", "l", "algorithm", "time_s"],
-    );
+    let mut time =
+        Table::new("Figure 7: time (s) with varying l", &["dataset", "l", "algorithm", "time_s"]);
     let mut visited = Table::new(
         "Figure 8: visited candidate vertices with varying l",
         &["dataset", "l", "algorithm", "visited"],
@@ -283,17 +265,12 @@ pub fn fig12(ctx: &Context) -> Table {
     let eg = Dataset::EuCore.generate(ctx.scale, snapshots, ctx.seed);
     let params = AvtParams::new(crate::most_anchorable_k(&eg), 2);
     let mut table = Table::new(
-        format!(
-            "Figure 12: followers vs brute force (eu-core stand-in, l=2, k={})",
-            params.k
-        ),
+        format!("Figure 12: followers vs brute force (eu-core stand-in, l=2, k={})", params.k),
         &["T", "algorithm", "followers"],
     );
     let brute = brute_force_reference();
-    let mut runs: Vec<(String, AvtResult)> = algorithms()
-        .iter()
-        .map(|a| (a.name().to_string(), run(a.as_ref(), &eg, params)))
-        .collect();
+    let mut runs: Vec<(String, AvtResult)> =
+        algorithms().iter().map(|a| (a.name().to_string(), run(a.as_ref(), &eg, params))).collect();
     runs.push(("Brute-force".into(), run(&brute, &eg, params)));
     for t in 1..=snapshots {
         for (name, result) in &runs {
@@ -320,10 +297,8 @@ pub fn table4(ctx: &Context) -> Table {
         &["algorithm", "anchors", "followers"],
     );
     let brute = brute_force_reference();
-    let mut entries: Vec<(String, AvtResult)> = vec![(
-        "Brute-force".into(),
-        run(&brute, &eg, params),
-    )];
+    let mut entries: Vec<(String, AvtResult)> =
+        vec![("Brute-force".into(), run(&brute, &eg, params))];
     for algo in algorithms() {
         entries.push((algo.name().to_string(), run(algo.as_ref(), &eg, params)));
     }
@@ -382,24 +357,16 @@ mod tests {
         assert_eq!(time.rows.len(), 8);
         assert_eq!(visited.rows.len(), 6);
         // Cumulative series are non-decreasing per algorithm.
-        let greedy: Vec<f64> = time
-            .rows
-            .iter()
-            .filter(|r| r[2] == "Greedy")
-            .map(|r| r[3].parse().unwrap())
-            .collect();
+        let greedy: Vec<f64> =
+            time.rows.iter().filter(|r| r[2] == "Greedy").map(|r| r[3].parse().unwrap()).collect();
         assert!(greedy.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
     fn fig9_followers_are_cumulative() {
         let t = fig9(&ctx(), &[Dataset::CollegeMsg]);
-        let inc: Vec<u64> = t
-            .rows
-            .iter()
-            .filter(|r| r[2] == "IncAVT")
-            .map(|r| r[3].parse().unwrap())
-            .collect();
+        let inc: Vec<u64> =
+            t.rows.iter().filter(|r| r[2] == "IncAVT").map(|r| r[3].parse().unwrap()).collect();
         assert!(inc.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -62,12 +62,7 @@ impl Context {
 
 /// The four tracking algorithms the paper compares, in its plotting order.
 pub fn algorithms() -> Vec<Box<dyn AvtAlgorithm>> {
-    vec![
-        Box::new(Olak),
-        Box::new(Greedy::default()),
-        Box::new(IncAvt),
-        Box::new(Rcm::default()),
-    ]
+    vec![Box::new(Olak), Box::new(Greedy::default()), Box::new(IncAvt), Box::new(Rcm::default())]
 }
 
 /// The brute-force reference used in the case study (Figure 12 / Table 4),
@@ -105,9 +100,7 @@ pub fn most_anchorable_k(evolving: &EvolvingGraph) -> u32 {
 }
 
 fn final_spectrum(evolving: &EvolvingGraph) -> CoreSpectrum {
-    let last = evolving
-        .snapshot(evolving.num_snapshots())
-        .expect("final snapshot exists");
+    let last = evolving.snapshot(evolving.num_snapshots()).expect("final snapshot exists");
     CoreSpectrum::of(&last)
 }
 

@@ -113,8 +113,7 @@ impl<'g> AnchoredCoreState<'g> {
     /// Recompute the anchored decomposition. O(n + m).
     fn rebuild(&mut self) {
         self.decomp = CoreDecomposition::compute_with_anchor_flags(self.graph, &self.is_anchor);
-        self.core_size =
-            self.decomp.cores().iter().filter(|&&c| c >= self.k).count();
+        self.core_size = self.decomp.cores().iter().filter(|&&c| c >= self.k).count();
         self.metrics.rebuilds += 1;
         self.metrics.vertices_visited += self.graph.num_vertices() as u64;
     }
@@ -229,11 +228,7 @@ impl<'g> AnchoredCoreState<'g> {
     pub fn followers_of_unordered(&mut self, x: VertexId) -> Vec<VertexId> {
         self.compute_followers_with(x, false);
         let epoch = self.epoch;
-        self.region
-            .iter()
-            .copied()
-            .filter(|&v| self.removed[v as usize] != epoch)
-            .collect()
+        self.region.iter().copied().filter(|&v| self.removed[v as usize] != epoch).collect()
     }
 
     /// Follower count via the unordered (OLAK) region.
@@ -298,10 +293,7 @@ impl<'g> AnchoredCoreState<'g> {
             let v = self.region[ri];
             let mut s = 0u32;
             for &w in self.graph.neighbors(v) {
-                if w == x
-                    || self.decomp.core(w) >= self.k
-                    || self.in_region[w as usize] == epoch
-                {
+                if w == x || self.decomp.core(w) >= self.k || self.in_region[w as usize] == epoch {
                     s += 1;
                 }
             }

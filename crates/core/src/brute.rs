@@ -85,19 +85,14 @@ impl BruteForce {
     /// The candidate pool: every vertex outside the k-core, optionally
     /// capped by shell-adjacency rank.
     fn pool(&self, graph: &Graph, cores: &[u32], k: u32) -> Vec<VertexId> {
-        let mut pool: Vec<VertexId> = (0..graph.num_vertices() as VertexId)
-            .filter(|&v| cores[v as usize] < k)
-            .collect();
+        let mut pool: Vec<VertexId> =
+            (0..graph.num_vertices() as VertexId).filter(|&v| cores[v as usize] < k).collect();
         if let Some(cap) = self.pool_cap {
             if pool.len() > cap {
                 // Rank by number of (k-1)-shell neighbours, descending —
                 // anchors far from the shell cannot produce followers.
                 let shell_deg = |v: VertexId| {
-                    graph
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&w| cores[w as usize] == k - 1)
-                        .count()
+                    graph.neighbors(v).iter().filter(|&&w| cores[w as usize] == k - 1).count()
                 };
                 pool.sort_by_key(|&v| std::cmp::Reverse(shell_deg(v)));
                 pool.truncate(cap);
@@ -163,8 +158,9 @@ impl AvtAlgorithm for BruteForce {
             });
 
             let followers = naive_set_followers(&graph, params.k, &best_set);
-            let anchored_core_size =
-                base_core_size + followers.len() + best_set.iter().filter(|&&a| decomp.core(a) < params.k).count();
+            let anchored_core_size = base_core_size
+                + followers.len()
+                + best_set.iter().filter(|&&a| decomp.core(a) < params.k).count();
             let metrics = crate::metrics::Metrics {
                 candidates_probed: probed,
                 vertices_visited: visited,
@@ -190,8 +186,8 @@ mod tests {
     use super::*;
     use crate::greedy::Greedy;
     use crate::olak::Olak;
-    use crate::rcm::Rcm;
     use crate::oracle::naive_anchored_core_size;
+    use crate::rcm::Rcm;
 
     fn toy() -> Graph {
         Graph::from_edges(
@@ -229,8 +225,7 @@ mod tests {
         let mut oracle_best = 0;
         for i in 0..pool.len() {
             for j in (i + 1)..pool.len() {
-                oracle_best =
-                    oracle_best.max(naive_anchored_core_size(&g, 3, &[pool[i], pool[j]]));
+                oracle_best = oracle_best.max(naive_anchored_core_size(&g, 3, &[pool[i], pool[j]]));
             }
         }
         assert_eq!(best, oracle_best);
@@ -270,7 +265,9 @@ mod tests {
         let params = AvtParams::new(3, 2);
         let capped = BruteForce { pool_cap: Some(3) }.track(&eg, params).unwrap();
         let exact = BruteForce::default().track(&eg, params).unwrap();
-        assert!(capped.total_metrics().candidates_probed <= exact.total_metrics().candidates_probed);
+        assert!(
+            capped.total_metrics().candidates_probed <= exact.total_metrics().candidates_probed
+        );
         // The cap keeps shell-adjacent vertices, so on this toy graph the
         // optimum survives.
         assert_eq!(capped.follower_counts, exact.follower_counts);

@@ -45,8 +45,7 @@ pub fn analyze(result: &AvtResult) -> DriftReport {
 
 /// Analyze an arbitrary anchor series.
 pub fn analyze_series(series: &[Vec<VertexId>]) -> DriftReport {
-    let jaccard_series: Vec<f64> =
-        series.windows(2).map(|w| jaccard(&w[0], &w[1])).collect();
+    let jaccard_series: Vec<f64> = series.windows(2).map(|w| jaccard(&w[0], &w[1])).collect();
     let mut lifetimes: HashMap<VertexId, usize> = HashMap::new();
     for set in series {
         for &v in set {
@@ -105,8 +104,8 @@ mod tests {
 
     #[test]
     fn analyze_wraps_results() {
-        use crate::params::{AvtResult, SnapshotReport};
         use crate::metrics::Metrics;
+        use crate::params::{AvtResult, SnapshotReport};
         use std::time::Duration;
         let mk = |t: usize, anchors: Vec<u32>| SnapshotReport {
             t,

@@ -101,19 +101,18 @@ fn select_best_parallel(
 ) -> Option<(VertexId, usize)> {
     let chunk = candidates.len().div_ceil(threads).max(1);
     let mut results: Vec<Option<(VertexId, usize)>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(chunk)
             .map(|stripe| {
                 let mut local = state.clone();
-                scope.spawn(move |_| select_best(&mut local, stripe, order_based))
+                scope.spawn(move || select_best(&mut local, stripe, order_based))
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("candidate evaluation worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().fold(None, |acc, (v, g)| match acc {
         Some((bv, bg)) if bg > g || (bg == g && bv < v) => Some((bv, bg)),
         _ => Some((v, g)),
@@ -130,11 +129,8 @@ pub(crate) fn greedy_rounds(
 ) -> Vec<VertexId> {
     let mut anchors = Vec::with_capacity(l);
     for _ in 0..l {
-        let candidates = if config.prune_candidates {
-            state.candidates()
-        } else {
-            all_probe_targets(state)
-        };
+        let candidates =
+            if config.prune_candidates { state.candidates() } else { all_probe_targets(state) };
         bump_probed(state, candidates.len() as u64);
         let best = if config.threads > 1 && candidates.len() >= 2 * config.threads {
             select_best_parallel(state, &candidates, config.order_based_followers, config.threads)
@@ -158,9 +154,7 @@ fn bump_probed(state: &mut AnchoredCoreState<'_>, n: u64) {
 /// probed (the unoptimized Algorithm 2 candidate loop).
 fn all_probe_targets(state: &AnchoredCoreState<'_>) -> Vec<VertexId> {
     let g = state.graph();
-    g.vertices()
-        .filter(|&v| !state.in_core(v) && !state.anchors().contains(&v))
-        .collect()
+    g.vertices().filter(|&v| !state.in_core(v) && !state.anchors().contains(&v)).collect()
 }
 
 impl AvtAlgorithm for Greedy {
@@ -204,8 +198,8 @@ fn solve_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avt_graph::EdgeBatch;
     use crate::oracle::naive_set_followers;
+    use avt_graph::EdgeBatch;
 
     /// Two "wings" of savable vertices around a K4 core, k = 3. Anchoring
     /// 6 saves the left wing {4, 5}; anchoring 9 saves the right wing
@@ -280,10 +274,7 @@ mod tests {
         assert_eq!(fast.follower_counts, slow.follower_counts);
         assert_eq!(fast.anchor_sets, slow.anchor_sets);
         // The optimized variant probes no more candidates.
-        assert!(
-            fast.total_metrics().candidates_probed
-                <= slow.total_metrics().candidates_probed
-        );
+        assert!(fast.total_metrics().candidates_probed <= slow.total_metrics().candidates_probed);
     }
 
     #[test]

@@ -73,9 +73,7 @@ impl AvtAlgorithm for IncAvt {
         for t in 2..=evolving.num_snapshots() {
             let start = Instant::now();
             let visited_before = maintained.visited_vertices();
-            let batch = evolving
-                .batch(t - 1)
-                .expect("batch exists for every non-initial snapshot");
+            let batch = evolving.batch(t - 1).expect("batch exists for every non-initial snapshot");
             let changes = maintained.apply_batch(batch)?;
             let maintenance_visits = maintained.visited_vertices() - visited_before;
 
@@ -174,11 +172,8 @@ fn local_search_snapshot(
     // Even with an empty pool, anchors that drifted into the *plain*
     // k-core waste budget; release them (cheap check against the
     // maintained base cores, one rebuild per actual drift).
-    let drifted: Vec<VertexId> = anchors
-        .iter()
-        .copied()
-        .filter(|&u| base_cores[u as usize] >= params.k)
-        .collect();
+    let drifted: Vec<VertexId> =
+        anchors.iter().copied().filter(|&u| base_cores[u as usize] >= params.k).collect();
     for u in drifted {
         state.uncommit_anchor(u);
         anchors.retain(|&a| a != u);
@@ -222,10 +217,7 @@ fn local_search_snapshot(
 
 /// Theorem-3-filtered candidates drawn only from the churn-impacted region:
 /// `{VI ∪ VR ∪ nbr(VI ∪ VR)} \ C_k(S)` (Algorithm 6, line 12).
-fn impacted_candidates(
-    state: &mut AnchoredCoreState<'_>,
-    impacted: &[VertexId],
-) -> Vec<VertexId> {
+fn impacted_candidates(state: &mut AnchoredCoreState<'_>, impacted: &[VertexId]) -> Vec<VertexId> {
     let graph = state.graph();
     let mut pool: Vec<VertexId> = Vec::new();
     for &v in impacted {
@@ -242,10 +234,7 @@ fn impacted_candidates(
         if state.in_core(x) || state.anchors().contains(&x) {
             return false;
         }
-        graph
-            .neighbors(x)
-            .iter()
-            .any(|&w| state.core(w) == shell && state.precedes(x, w))
+        graph.neighbors(x).iter().any(|&w| state.core(w) == shell && state.precedes(x, w))
     });
     pool
 }
@@ -253,9 +242,9 @@ fn impacted_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avt_graph::{EdgeBatch, Graph};
     use crate::greedy::Greedy;
     use crate::oracle::naive_set_followers;
+    use avt_graph::{EdgeBatch, Graph};
 
     fn base_graph() -> Graph {
         Graph::from_edges(
@@ -345,8 +334,7 @@ mod tests {
         let inc = IncAvt.track(&eg, params).unwrap();
         let greedy = Greedy::default().track(&eg, params).unwrap();
         // Skip the shared first snapshot; compare the incremental ones.
-        let inc_probes: u64 =
-            inc.reports[1..].iter().map(|r| r.metrics.candidates_probed).sum();
+        let inc_probes: u64 = inc.reports[1..].iter().map(|r| r.metrics.candidates_probed).sum();
         let greedy_probes: u64 =
             greedy.reports[1..].iter().map(|r| r.metrics.candidates_probed).sum();
         assert!(
@@ -379,11 +367,8 @@ mod tests {
         // t=1 offers nothing to anchor; churn then creates an opportunity.
         // Start: K4 plus two isolated-ish vertices 4, 5 connected to
         // nothing useful.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5)]).unwrap();
         let mut eg = EvolvingGraph::new(g);
         // Give 4 one core link and 5 two: anchoring 4 then saves 5 (k=3),
         // but the pair does not enter the core on its own.
@@ -392,8 +377,7 @@ mod tests {
         let result = IncAvt.track(&eg, params).unwrap();
         assert!(result.anchor_sets[0].is_empty());
         assert_eq!(
-            result.follower_counts[1],
-            1,
+            result.follower_counts[1], 1,
             "growth phase should anchor one wing vertex and save the other: {:?}",
             result.reports[1]
         );

@@ -125,14 +125,8 @@ mod tests {
         let params = AvtParams::new(3, 2);
         let olak = Olak.track(&eg, params).unwrap();
         let greedy = Greedy::default().track(&eg, params).unwrap();
-        assert!(
-            olak.total_metrics().candidates_probed
-                >= greedy.total_metrics().candidates_probed
-        );
-        assert!(
-            olak.total_metrics().vertices_visited
-                >= greedy.total_metrics().vertices_visited
-        );
+        assert!(olak.total_metrics().candidates_probed >= greedy.total_metrics().candidates_probed);
+        assert!(olak.total_metrics().vertices_visited >= greedy.total_metrics().vertices_visited);
     }
 
     #[test]

@@ -34,9 +34,7 @@ pub fn naive_set_followers(graph: &Graph, k: u32, anchors: &[VertexId]) -> Vec<V
     let before = simple_k_core(graph, k, &[]);
     let after = simple_k_core(graph, k, anchors);
     (0..graph.num_vertices() as VertexId)
-        .filter(|&v| {
-            !anchors.contains(&v) && after[v as usize] && !before[v as usize]
-        })
+        .filter(|&v| !anchors.contains(&v) && after[v as usize] && !before[v as usize])
         .collect()
 }
 

@@ -61,11 +61,7 @@ fn ranked_candidates(state: &mut AnchoredCoreState<'_>, k: u32) -> Vec<(VertexId
         if state.core(v) != shell {
             continue;
         }
-        let engaged = graph
-            .neighbors(v)
-            .iter()
-            .filter(|&&w| state.core(w) >= k)
-            .count() as u32;
+        let engaged = graph.neighbors(v).iter().filter(|&&w| state.core(w) >= k).count() as u32;
         residual[v as usize] = k.saturating_sub(engaged).max(1);
     }
 

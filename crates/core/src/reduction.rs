@@ -118,9 +118,7 @@ pub fn reduce(instance: &SetCoverInstance, k: u32) -> ReducedInstance {
                 if i == 0 && j == 1 {
                     continue;
                 }
-                graph
-                    .insert_edge(members[i], members[j])
-                    .expect("gadget edges are distinct");
+                graph.insert_edge(members[i], members[j]).expect("gadget edges are distinct");
             }
         }
         gadget_vertices.push(members);
@@ -142,8 +140,7 @@ impl ReducedInstance {
     /// The elements whose *entire* gadget survives in the anchored k-core
     /// when `selected_sets`' vertices are anchored.
     pub fn covered_elements(&self, selected_sets: &[usize]) -> Vec<usize> {
-        let anchors: Vec<VertexId> =
-            selected_sets.iter().map(|&i| self.set_vertices[i]).collect();
+        let anchors: Vec<VertexId> = selected_sets.iter().map(|&i| self.set_vertices[i]).collect();
         let alive = simple_k_core(&self.graph, self.k, &anchors);
         self.gadget_vertices
             .iter()

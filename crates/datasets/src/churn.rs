@@ -161,10 +161,7 @@ mod tests {
         let a = evolve(gnm(100, 400, 9), config, 77);
         let b = evolve(gnm(100, 400, 9), config, 77);
         for t in 1..=4 {
-            assert!(a
-                .snapshot(t)
-                .unwrap()
-                .is_isomorphic_identity(&b.snapshot(t).unwrap()));
+            assert!(a.snapshot(t).unwrap().is_isomorphic_identity(&b.snapshot(t).unwrap()));
         }
     }
 

@@ -135,9 +135,7 @@ mod tests {
         use avt_kcore::verify::simple_k_core;
         let g = graph1();
         let alive = simple_k_core(&g, 3, &[u(7), u(10)]);
-        let mut saved: Vec<u32> = (1..=17u32)
-            .filter(|&lbl| alive[u(lbl) as usize])
-            .collect();
+        let mut saved: Vec<u32> = (1..=17u32).filter(|&lbl| alive[u(lbl) as usize]).collect();
         saved.sort_unstable();
         // C_3(S_1) of Example 4: core + anchors + followers = 12 users.
         assert_eq!(

@@ -82,10 +82,8 @@ mod tests {
 
     #[test]
     fn loads_static_edge_list_and_churns() {
-        let path = temp_file(
-            "static.txt",
-            "# tiny\n0 1\n1 2\n2 3\n3 0\n0 2\n1 3\n4 0\n4 1\n5 2\n5 3\n",
-        );
+        let path =
+            temp_file("static.txt", "# tiny\n0 1\n1 2\n2 3\n3 0\n0 2\n1 3\n4 0\n4 1\n5 2\n5 3\n");
         let config = ChurnConfig {
             snapshots: 4,
             remove_min: 1,
@@ -102,10 +100,8 @@ mod tests {
     #[test]
     fn loads_temporal_stream_with_expiry() {
         // Two edges: one active early only, one recurring.
-        let path = temp_file(
-            "temporal.txt",
-            "100 200 1000\n100 200 1500\n100 200 1900\n300 400 1050\n",
-        );
+        let path =
+            temp_file("temporal.txt", "100 200 1000\n100 200 1500\n100 200 1900\n300 400 1050\n");
         let eg = load_temporal(&path, 300, 3).unwrap();
         assert_eq!(eg.num_snapshots(), 3);
         eg.validate().unwrap();
@@ -119,12 +115,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_a_clean_error() {
-        let err = load_static(
-            Path::new("/nonexistent/avt-data.txt"),
-            ChurnConfig::default(),
-            0,
-        )
-        .unwrap_err();
+        let err = load_static(Path::new("/nonexistent/avt-data.txt"), ChurnConfig::default(), 0)
+            .unwrap_err();
         assert!(err.to_string().contains("cannot open"));
     }
 

@@ -273,10 +273,7 @@ mod tests {
         let a = generate(small_config(), 8);
         let b = generate(small_config(), 8);
         for t in 1..=6 {
-            assert!(a
-                .snapshot(t)
-                .unwrap()
-                .is_isomorphic_identity(&b.snapshot(t).unwrap()));
+            assert!(a.snapshot(t).unwrap().is_isomorphic_identity(&b.snapshot(t).unwrap()));
         }
     }
 

@@ -23,9 +23,7 @@ pub fn watts_strogatz(n: usize, k_ring: usize, beta: f64, seed: u64) -> Graph {
     for v in 0..n {
         for d in 1..=(k_ring / 2) {
             let w = (v + d) % n;
-            graph
-                .insert_edge(v as VertexId, w as VertexId)
-                .expect("lattice edges are distinct");
+            graph.insert_edge(v as VertexId, w as VertexId).expect("lattice edges are distinct");
         }
     }
     // Rewire: detach the far endpoint of each original lattice edge with

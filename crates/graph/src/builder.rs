@@ -94,9 +94,7 @@ impl GraphBuilder {
 
         let mut graph = Graph::new(ids.len());
         for &(a, b) in &self.edges {
-            graph
-                .insert_edge(dense[&a], dense[&b])
-                .expect("deduplicated edges cannot conflict");
+            graph.insert_edge(dense[&a], dense[&b]).expect("deduplicated edges cannot conflict");
         }
 
         BuiltGraph {

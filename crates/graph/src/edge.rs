@@ -96,10 +96,7 @@ impl EdgeBatch {
 
     /// The batch that undoes this one (insertions and deletions swapped).
     pub fn inverted(&self) -> EdgeBatch {
-        EdgeBatch {
-            insertions: self.deletions.clone(),
-            deletions: self.insertions.clone(),
-        }
+        EdgeBatch { insertions: self.deletions.clone(), deletions: self.insertions.clone() }
     }
 }
 

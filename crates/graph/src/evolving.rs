@@ -81,10 +81,7 @@ impl EvolvingGraph {
         if t == 0 || t > self.num_snapshots() {
             return Err(GraphError::Parse {
                 line: 0,
-                message: format!(
-                    "snapshot index {t} out of range 1..={}",
-                    self.num_snapshots()
-                ),
+                message: format!("snapshot index {t} out of range 1..={}", self.num_snapshots()),
             });
         }
         let mut g = self.initial.clone();
@@ -104,10 +101,7 @@ impl EvolvingGraph {
     /// experiments). No-op if `t >= T`.
     pub fn truncated(&self, t: usize) -> EvolvingGraph {
         let keep = t.saturating_sub(1).min(self.batches.len());
-        EvolvingGraph {
-            initial: self.initial.clone(),
-            batches: self.batches[..keep].to_vec(),
-        }
+        EvolvingGraph { initial: self.initial.clone(), batches: self.batches[..keep].to_vec() }
     }
 
     /// Total churn volume across all batches (|E+| + |E-| summed).
@@ -157,12 +151,8 @@ impl<'a> Iterator for SnapshotIter<'a> {
 /// Convenience: the set of vertices touched by a batch (endpoints of all
 /// events), deduplicated.
 pub fn touched_vertices(batch: &EdgeBatch) -> Vec<VertexId> {
-    let mut out: Vec<VertexId> = batch
-        .insertions
-        .iter()
-        .chain(batch.deletions.iter())
-        .flat_map(|e| e.endpoints())
-        .collect();
+    let mut out: Vec<VertexId> =
+        batch.insertions.iter().chain(batch.deletions.iter()).flat_map(|e| e.endpoints()).collect();
     out.sort_unstable();
     out.dedup();
     out

@@ -264,10 +264,7 @@ mod tests {
         let g = path(5);
         let mut edges: Vec<Edge> = g.edges().collect();
         edges.sort();
-        assert_eq!(
-            edges,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 4)]
-        );
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 4)]);
     }
 
     #[test]

@@ -13,9 +13,9 @@
 
 use std::io::{BufRead, Write};
 
-use crate::{GraphBuilder, GraphError, VertexId};
 use crate::builder::BuiltGraph;
 use crate::graph::Graph;
+use crate::{GraphBuilder, GraphError, VertexId};
 
 /// A timestamped interaction `(u, v, t)` from a temporal edge list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,10 +44,8 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BuiltGraph, GraphError> {
     let mut builder = GraphBuilder::new();
     for (idx, line) in reader.lines().enumerate() {
         let line_no = idx + 1;
-        let line = line.map_err(|e| GraphError::Parse {
-            line: line_no,
-            message: format!("I/O error: {e}"),
-        })?;
+        let line = line
+            .map_err(|e| GraphError::Parse { line: line_no, message: format!("I/O error: {e}") })?;
         if is_comment(&line) {
             continue;
         }
@@ -74,10 +72,8 @@ pub fn read_temporal_edge_list<R: BufRead>(reader: R) -> Result<Vec<TemporalEdge
     let mut out = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line_no = idx + 1;
-        let line = line.map_err(|e| GraphError::Parse {
-            line: line_no,
-            message: format!("I/O error: {e}"),
-        })?;
+        let line = line
+            .map_err(|e| GraphError::Parse { line: line_no, message: format!("I/O error: {e}") })?;
         if is_comment(&line) {
             continue;
         }
@@ -178,8 +174,7 @@ mod tests {
 
     #[test]
     fn temporal_parse_and_densify() {
-        let events =
-            parse_temporal_edge_list("# t\n5 6 100\n6 7 50\n5 7 75\n").unwrap();
+        let events = parse_temporal_edge_list("# t\n5 6 100\n6 7 50\n5 7 75\n").unwrap();
         assert_eq!(events.len(), 3);
         let (n, dense) = densify_temporal(&events);
         assert_eq!(n, 3);

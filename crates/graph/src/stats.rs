@@ -86,11 +86,7 @@ mod tests {
     #[test]
     fn stats_of_two_triangles_and_isolate() {
         // vertices 0-2 triangle, 3-5 triangle, 6 isolated
-        let g = Graph::from_edges(
-            7,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         let s = GraphStats::compute(&g);
         assert_eq!(s.nodes, 7);
         assert_eq!(s.edges, 6);

@@ -138,9 +138,10 @@ impl CoreDecomposition {
             pos[v as usize] = i as u32;
         }
 
-        debug_assert!(order.windows(2).all(|w| {
-            core[w[0] as usize] <= core[w[1] as usize]
-        }), "removal order must be non-decreasing in core number");
+        debug_assert!(
+            order.windows(2).all(|w| { core[w[0] as usize] <= core[w[1] as usize] }),
+            "removal order must be non-decreasing in core number"
+        );
 
         CoreDecomposition { core, order, pos }
     }
@@ -209,7 +210,8 @@ mod tests {
             for v in graph.vertices() {
                 let in_core = d.core(v) >= k;
                 assert_eq!(
-                    in_core, oracle[v as usize],
+                    in_core,
+                    oracle[v as usize],
                     "vertex {v} core={} k={k} mismatch with peel oracle",
                     d.core(v)
                 );
@@ -272,11 +274,7 @@ mod tests {
         // Replay the removal order: remaining degree at removal ≤ core.
         let mut removed = [false; 8];
         for &v in d.order() {
-            let remaining = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&w| !removed[w as usize])
-                .count() as u32;
+            let remaining = g.neighbors(v).iter().filter(|&&w| !removed[w as usize]).count() as u32;
             assert!(
                 remaining <= d.core(v),
                 "vertex {v}: remaining {remaining} > core {}",
@@ -308,11 +306,7 @@ mod tests {
         let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]).unwrap();
         let d = CoreDecomposition::compute(&g);
         for v in g.vertices() {
-            let expected = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&w| d.precedes(v, w))
-                .count() as u32;
+            let expected = g.neighbors(v).iter().filter(|&&w| d.precedes(v, w)).count() as u32;
             assert_eq!(d.deg_plus(&g, v), expected);
             // deg+ never exceeds the core number (peel legality).
             assert!(d.deg_plus(&g, v) <= d.core(v));
@@ -370,10 +364,7 @@ mod tests {
             }
             check_against_oracle(&g, &[]);
             // And with a couple of random anchors.
-            let anchors = vec![
-                rng.gen_range(0..n) as VertexId,
-                rng.gen_range(0..n) as VertexId,
-            ];
+            let anchors = vec![rng.gen_range(0..n) as VertexId, rng.gen_range(0..n) as VertexId];
             let mut anchors = anchors;
             anchors.dedup();
             check_against_oracle(&g, &anchors);

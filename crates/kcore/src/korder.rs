@@ -145,11 +145,7 @@ impl KOrder {
     /// O(deg(v)).
     pub fn deg_plus(&self, graph: &Graph, v: VertexId) -> u32 {
         let key = self.order_key(v);
-        graph
-            .neighbors(v)
-            .iter()
-            .filter(|&&w| self.order_key(w) > key)
-            .count() as u32
+        graph.neighbors(v).iter().filter(|&&w| self.order_key(w) > key).count() as u32
     }
 
     /// Iterate the live vertices of `lvl` in K-order.
@@ -218,10 +214,7 @@ impl KOrder {
             self.levels.resize_with(li + 1, Vec::new);
             self.live.resize(li + 1, 0);
         }
-        assert_eq!(
-            self.live[li], 0,
-            "install_level({lvl}) requires the level to be emptied first"
-        );
+        assert_eq!(self.live[li], 0, "install_level({lvl}) requires the level to be emptied first");
         self.levels[li].clear();
         for (i, &v) in ordered.iter().enumerate() {
             assert_eq!(

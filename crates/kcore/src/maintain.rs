@@ -207,8 +207,7 @@ impl MaintainedCore {
         let w_key = self.korder.order_key(w);
         let prefix: Vec<VertexId> =
             self.korder.iter_level(k).take_while(|&x| self.korder.order_key(x) < w_key).collect();
-        let members: Vec<VertexId> =
-            self.korder.iter_level(k).skip(prefix.len()).collect();
+        let members: Vec<VertexId> = self.korder.iter_level(k).skip(prefix.len()).collect();
         let (order_k, survivors) = self.peel_level(k, &members);
 
         if survivors.is_empty() {
@@ -525,11 +524,8 @@ mod tests {
 
     #[test]
     fn batch_application_matches_scratch() {
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
         let mut mc = MaintainedCore::new(g.clone());
         let batch = EdgeBatch::from_pairs([(0, 3), (1, 4)], [(2, 3)]);
         let ch = mc.apply_batch(&batch).unwrap();

@@ -7,11 +7,7 @@ use avt_graph::{Graph, VertexId};
 /// that pushes `mcd(u)` below `core(u)` forces a core decrement (Lemma 4).
 pub fn max_core_degree(graph: &Graph, cores: &[u32], u: VertexId) -> u32 {
     let cu = cores[u as usize];
-    graph
-        .neighbors(u)
-        .iter()
-        .filter(|&&w| cores[w as usize] >= cu)
-        .count() as u32
+    graph.neighbors(u).iter().filter(|&&w| cores[w as usize] >= cu).count() as u32
 }
 
 /// `mcd` for every vertex in one pass. O(n + m).

@@ -4,11 +4,7 @@ use avt_graph::VertexId;
 
 /// Vertices whose core number is at least `k` (the k-core `C_k`).
 pub fn k_core_members(cores: &[u32], k: u32) -> Vec<VertexId> {
-    cores
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &c)| (c >= k).then_some(v as VertexId))
-        .collect()
+    cores.iter().enumerate().filter_map(|(v, &c)| (c >= k).then_some(v as VertexId)).collect()
 }
 
 /// Size of the k-core without materializing it.
@@ -20,11 +16,7 @@ pub fn k_core_size(cores: &[u32], k: u32) -> usize {
 /// single anchored vertex can only come from the (k-1)-shell (Theorem 3 /
 /// reference \[37\] of the paper).
 pub fn shell_members(cores: &[u32], c: u32) -> Vec<VertexId> {
-    cores
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &cv)| (cv == c).then_some(v as VertexId))
-        .collect()
+    cores.iter().enumerate().filter_map(|(v, &cv)| (cv == c).then_some(v as VertexId)).collect()
 }
 
 #[cfg(test)]

@@ -29,11 +29,8 @@ pub fn simple_k_core(graph: &Graph, k: u32, anchors: &[VertexId]) -> Vec<bool> {
             if !alive[v] || is_anchor[v] {
                 continue;
             }
-            let deg = graph
-                .neighbors(v as VertexId)
-                .iter()
-                .filter(|&&w| alive[w as usize])
-                .count() as u32;
+            let deg = graph.neighbors(v as VertexId).iter().filter(|&&w| alive[w as usize]).count()
+                as u32;
             if deg < k {
                 alive[v] = false;
                 changed = true;
@@ -82,14 +79,14 @@ pub fn simple_core_numbers(graph: &Graph, anchors: &[VertexId]) -> Vec<u32> {
 
 /// Panic with a description unless `decomposition` assigns exactly the core
 /// numbers the naive oracle computes.
-pub fn assert_cores_match_oracle(graph: &Graph, decomposition: &CoreDecomposition, anchors: &[VertexId]) {
+pub fn assert_cores_match_oracle(
+    graph: &Graph,
+    decomposition: &CoreDecomposition,
+    anchors: &[VertexId],
+) {
     let oracle = simple_core_numbers(graph, anchors);
     for v in graph.vertices() {
-        assert_eq!(
-            decomposition.core(v),
-            oracle[v as usize],
-            "core number mismatch at vertex {v}"
-        );
+        assert_eq!(decomposition.core(v), oracle[v as usize], "core number mismatch at vertex {v}");
     }
 }
 
@@ -117,11 +114,7 @@ pub fn assert_korder_valid(graph: &Graph, korder: &KOrder) {
 
     let mut removed = vec![false; graph.num_vertices()];
     for &v in &sequence {
-        let remaining = graph
-            .neighbors(v)
-            .iter()
-            .filter(|&&w| !removed[w as usize])
-            .count() as u32;
+        let remaining = graph.neighbors(v).iter().filter(|&&w| !removed[w as usize]).count() as u32;
         assert!(
             remaining <= korder.core(v),
             "K-order invalid: vertex {v} at level {} still has {remaining} \

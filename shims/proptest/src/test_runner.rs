@@ -1,0 +1,141 @@
+//! Case runner, configuration, and the error type the `prop_*` macros use.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// How a single generated test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The input did not satisfy a `prop_assume!` precondition; the case is
+    /// discarded without counting toward the case budget.
+    Reject(String),
+    /// A `prop_assert*!` failed: the property does not hold for this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated before the
+    /// test aborts as unable to generate valid inputs.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Derive a deterministic per-test seed from the test name (FNV-1a), unless
+/// `PROPTEST_SEED` overrides it for replaying a reported failure.
+fn seed_for(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Run `case` until `config.cases` successes, panicking on the first
+/// failure with enough context to replay it.
+pub fn run<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+{
+    let seed = seed_for(test_name);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    while successes < config.cases {
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest {test_name}: too many input rejections ({rejects}); \
+                         last precondition: {why}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest {test_name}: case {} of {} failed (seed {seed}; \
+                     rerun with PROPTEST_SEED={seed}):\n{message}",
+                    successes + 1,
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let mut count = 0u32;
+        run(&ProptestConfig::with_cases(17), "counting", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let mut calls = 0u32;
+        run(&ProptestConfig::with_cases(5), "rejecting", |_| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::reject("every other"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        run(&ProptestConfig::with_cases(3), "failing", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many input rejections")]
+    fn reject_storm_aborts() {
+        let config = ProptestConfig { cases: 1, max_global_rejects: 10 };
+        run(&config, "storm", |_| Err(TestCaseError::reject("always")));
+    }
+}

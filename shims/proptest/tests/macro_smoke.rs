@@ -1,0 +1,61 @@
+//! End-to-end exercise of the `proptest!` macro surface the workspace
+//! uses: config, tuple patterns, flat-mapped strategies, collections,
+//! assumes, early `return Ok(())`, and — crucially — that violated
+//! properties actually fail.
+
+use proptest::prelude::*;
+
+fn dependent_pair(max: usize) -> impl Strategy<Value = (usize, Vec<u32>)> {
+    (2..max).prop_flat_map(move |n| (Just(n), proptest::collection::vec(0..n as u32, 0..2 * n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!(y < 5);
+    }
+
+    #[test]
+    fn flat_mapped_values_are_consistent((n, items) in dependent_pair(30)) {
+        prop_assert!((2..30).contains(&n));
+        for &v in &items {
+            prop_assert!((v as usize) < n, "element {} out of bounds for n = {}", v, n);
+        }
+    }
+
+    #[test]
+    fn assume_discards_without_failing(n in 0usize..10) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    #[test]
+    fn early_ok_return_is_allowed(flag in any::<bool>(), n in 0u32..100) {
+        if flag {
+            return Ok(());
+        }
+        prop_assert_ne!(n, u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "case ")]
+    fn violated_properties_fail(n in 0usize..1000) {
+        // 32 cases over 0..1000 make a sub-500 draw overwhelmingly likely;
+        // the runner must surface the prop_assert failure as a panic.
+        prop_assert!(n >= 500);
+    }
+}
+
+#[test]
+fn case_budget_is_exhausted() {
+    use std::cell::Cell;
+    let count = Cell::new(0u32);
+    proptest::test_runner::run(&ProptestConfig::with_cases(64), "budget_probe", |_| {
+        count.set(count.get() + 1);
+        Ok(())
+    });
+    assert_eq!(count.get(), 64);
+}

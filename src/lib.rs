@@ -43,8 +43,8 @@ pub use avt_kcore as kcore;
 /// Commonly used items, glob-importable.
 pub mod prelude {
     pub use avt_core::{
-        AnchoredCoreState, AvtAlgorithm, AvtParams, AvtResult, BruteForce, Greedy, IncAvt,
-        Metrics, Olak, Rcm,
+        AnchoredCoreState, AvtAlgorithm, AvtParams, AvtResult, BruteForce, Greedy, IncAvt, Metrics,
+        Olak, Rcm,
     };
     pub use avt_graph::{Edge, EdgeBatch, EvolvingGraph, Graph, GraphStats, VertexId};
     pub use avt_kcore::{CoreDecomposition, KOrder};

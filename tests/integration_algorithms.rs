@@ -75,7 +75,8 @@ fn reported_followers_always_match_the_oracle() {
                 let mut got = report.followers.clone();
                 got.sort_unstable();
                 assert_eq!(
-                    got, oracle,
+                    got,
+                    oracle,
                     "{} misreported followers at seed {seed}, t = {}",
                     solver.name(),
                     report.t

@@ -1,7 +1,9 @@
 //! End-to-end validation of every fact the paper states about Figure 1,
 //! exercised through the public facade (graph -> kcore -> algorithms).
 
-use avt::algo::{AnchoredCoreState, AvtAlgorithm, AvtParams, BruteForce, Greedy, IncAvt, Olak, Rcm};
+use avt::algo::{
+    AnchoredCoreState, AvtAlgorithm, AvtParams, BruteForce, Greedy, IncAvt, Olak, Rcm,
+};
 use avt::datasets::figure1::{self, u};
 use avt::kcore::{k_core_members, CoreDecomposition, KOrder};
 
