@@ -36,7 +36,8 @@ pub fn table2(ctx: &Context, datasets: &[Dataset]) -> Table {
         let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
         // Temporal stand-ins ramp up from a sparse first period exactly
         // like the real streams; their Table 2 density is reached at
-        // steady state, so measure the final snapshot.
+        // steady state, so measure the final snapshot (one-shot access:
+        // a single `snapshot(T)` replay beats walking every frame).
         let last = eg.snapshot(eg.num_snapshots()).expect("final snapshot exists");
         let stats = GraphStats::compute(&last);
         table.push_row(vec![

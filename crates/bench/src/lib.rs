@@ -100,6 +100,8 @@ pub fn most_anchorable_k(evolving: &EvolvingGraph) -> u32 {
 }
 
 fn final_spectrum(evolving: &EvolvingGraph) -> CoreSpectrum {
+    // One-shot access to the final snapshot: `snapshot(T)` replays once in
+    // O(m + churn), cheaper than materializing every intermediate frame.
     let last = evolving.snapshot(evolving.num_snapshots()).expect("final snapshot exists");
     CoreSpectrum::of(&last)
 }

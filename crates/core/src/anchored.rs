@@ -36,12 +36,19 @@
 //! bucket peel). Commits are rare (at most `l` per snapshot); follower
 //! queries are the hot path and stay local.
 
-use avt_graph::{Graph, VertexId};
+use avt_graph::{Graph, GraphView, VertexId};
 use avt_kcore::decompose::CoreDecomposition;
 
 use crate::metrics::Metrics;
 
 /// Anchored core decomposition of one snapshot with local follower queries.
+///
+/// Generic over the snapshot's [`GraphView`] substrate: per-snapshot
+/// solvers instantiate it over frozen [`avt_graph::CsrGraph`] frames, the
+/// incremental path over the mutable [`Graph`] it maintains. The default
+/// type parameter keeps plain `AnchoredCoreState<'g>` meaning "state over a
+/// mutable graph", which is what non-generic callers had before the
+/// substrate split.
 ///
 /// # Example
 ///
@@ -59,8 +66,8 @@ use crate::metrics::Metrics;
 /// // Anchoring the pendant adds only itself (no followers).
 /// assert_eq!(st.follower_count_of(5), 0);
 /// ```
-pub struct AnchoredCoreState<'g> {
-    graph: &'g Graph,
+pub struct AnchoredCoreState<'g, G: GraphView = Graph> {
+    graph: &'g G,
     k: u32,
     anchors: Vec<VertexId>,
     is_anchor: Vec<bool>,
@@ -77,14 +84,14 @@ pub struct AnchoredCoreState<'g> {
     queue: Vec<VertexId>,
 }
 
-impl<'g> AnchoredCoreState<'g> {
+impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
     /// State with no anchors committed.
-    pub fn new(graph: &'g Graph, k: u32) -> Self {
+    pub fn new(graph: &'g G, k: u32) -> Self {
         Self::with_anchors(graph, k, &[])
     }
 
     /// State with `anchors` committed (single decomposition pass).
-    pub fn with_anchors(graph: &'g Graph, k: u32, anchors: &[VertexId]) -> Self {
+    pub fn with_anchors(graph: &'g G, k: u32, anchors: &[VertexId]) -> Self {
         assert!(k >= 1, "k must be at least 1");
         let n = graph.num_vertices();
         let mut st = AnchoredCoreState {
@@ -119,7 +126,7 @@ impl<'g> AnchoredCoreState<'g> {
     }
 
     /// The snapshot this state views.
-    pub fn graph(&self) -> &'g Graph {
+    pub fn graph(&self) -> &'g G {
         self.graph
     }
 
@@ -425,7 +432,7 @@ impl<'g> AnchoredCoreState<'g> {
     }
 }
 
-impl<'g> Clone for AnchoredCoreState<'g> {
+impl<'g, G: GraphView> Clone for AnchoredCoreState<'g, G> {
     /// Cloning copies the decomposition and anchor flags (O(n)); scratch
     /// space is reset. Used by the parallel candidate-evaluation path.
     fn clone(&self) -> Self {
@@ -633,6 +640,42 @@ mod tests {
         for x in g.vertices() {
             assert_eq!(cloned.follower_count_of(x), st.follower_count_of(x));
         }
+    }
+
+    #[test]
+    fn substrates_agree_on_followers_candidates_and_commits() {
+        use avt_graph::CsrGraph;
+        let g = shell_graph();
+        let csr = CsrGraph::from_graph(&g);
+        let mut on_vec = AnchoredCoreState::new(&g, 3);
+        let mut on_csr = AnchoredCoreState::new(&csr, 3);
+        assert_eq!(on_vec.anchored_core_size(), on_csr.anchored_core_size());
+        for x in g.vertices() {
+            // Follower *sets* are substrate-invariant (exact fixpoint
+            // semantics), even though internal K-orders may differ.
+            let mut a = on_vec.followers_of(x);
+            let mut b = on_csr.followers_of(x);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "anchor {x}");
+        }
+        // Candidate pruning stays *complete* on both: every productive
+        // anchor survives the Theorem-3 filter.
+        let cands = on_csr.candidates();
+        for x in g.vertices() {
+            if on_csr.follower_count_of(x) > 0 {
+                assert!(cands.contains(&x), "productive anchor {x} pruned on CSR");
+            }
+        }
+        // Commit path is identical too.
+        on_vec.commit_anchor(6);
+        on_csr.commit_anchor(6);
+        assert_eq!(on_vec.anchored_core_size(), on_csr.anchored_core_size());
+        let base = CoreDecomposition::compute(&csr);
+        assert_eq!(
+            on_vec.committed_followers(base.cores()),
+            on_csr.committed_followers(base.cores())
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use avt_graph::{EvolvingGraph, Graph, GraphError, VertexId};
+use avt_graph::{EvolvingGraph, GraphError, GraphView, VertexId};
 use avt_kcore::decompose::CoreDecomposition;
 
 use crate::oracle::naive_set_followers;
@@ -42,7 +42,12 @@ impl PeelScratch {
     }
 
     /// `|C_k(anchors)|` via one queue peel. O(n + m).
-    fn anchored_core_size(&mut self, graph: &Graph, k: u32, anchors: &[VertexId]) -> usize {
+    fn anchored_core_size<G: GraphView>(
+        &mut self,
+        graph: &G,
+        k: u32,
+        anchors: &[VertexId],
+    ) -> usize {
         let n = graph.num_vertices();
         for v in 0..n {
             self.deg[v] = graph.degree(v as VertexId) as u32;
@@ -84,7 +89,7 @@ impl PeelScratch {
 impl BruteForce {
     /// The candidate pool: every vertex outside the k-core, optionally
     /// capped by shell-adjacency rank.
-    fn pool(&self, graph: &Graph, cores: &[u32], k: u32) -> Vec<VertexId> {
+    fn pool<G: GraphView>(&self, graph: &G, cores: &[u32], k: u32) -> Vec<VertexId> {
         let mut pool: Vec<VertexId> =
             (0..graph.num_vertices() as VertexId).filter(|&v| cores[v as usize] < k).collect();
         if let Some(cap) = self.pool_cap {
@@ -131,7 +136,7 @@ impl AvtAlgorithm for BruteForce {
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
         let mut reports = Vec::with_capacity(evolving.num_snapshots());
         let mut scratch = PeelScratch::new(evolving.num_vertices());
-        for (t, graph) in evolving.snapshots() {
+        for (t, graph) in evolving.frames() {
             let start = Instant::now();
             let decomp = CoreDecomposition::compute(&graph);
             let base_core_size = decomp.cores().iter().filter(|&&c| c >= params.k).count();
@@ -188,6 +193,7 @@ mod tests {
     use crate::olak::Olak;
     use crate::oracle::naive_anchored_core_size;
     use crate::rcm::Rcm;
+    use avt_graph::Graph;
 
     fn toy() -> Graph {
         Graph::from_edges(

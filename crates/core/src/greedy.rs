@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use avt_graph::{EvolvingGraph, Graph, GraphError, VertexId};
+use avt_graph::{EvolvingGraph, GraphError, GraphView, VertexId};
 
 use crate::anchored::AnchoredCoreState;
 use crate::params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
@@ -67,8 +67,8 @@ impl Greedy {
 
 /// Evaluate `candidates` on `state` and return the best `(vertex, gain)`
 /// with gain > 0, ties broken toward the smallest vertex id. Sequential.
-pub(crate) fn select_best(
-    state: &mut AnchoredCoreState<'_>,
+pub(crate) fn select_best<G: GraphView>(
+    state: &mut AnchoredCoreState<'_, G>,
     candidates: &[VertexId],
     order_based: bool,
 ) -> Option<(VertexId, usize)> {
@@ -93,8 +93,8 @@ pub(crate) fn select_best(
 /// Parallel candidate evaluation: each worker clones the state (read-only
 /// queries) and scans a stripe. Deterministic result (same argmax +
 /// tie-break as [`select_best`]).
-fn select_best_parallel(
-    state: &AnchoredCoreState<'_>,
+fn select_best_parallel<G: GraphView>(
+    state: &AnchoredCoreState<'_, G>,
     candidates: &[VertexId],
     order_based: bool,
     threads: usize,
@@ -122,8 +122,8 @@ fn select_best_parallel(
 /// Run the greedy anchor-selection rounds on an existing state (shared with
 /// `IncAvt` for its first snapshot). Returns the committed anchors, in
 /// commit order; stops early when no candidate has any followers.
-pub(crate) fn greedy_rounds(
-    state: &mut AnchoredCoreState<'_>,
+pub(crate) fn greedy_rounds<G: GraphView>(
+    state: &mut AnchoredCoreState<'_, G>,
     l: usize,
     config: GreedyConfig,
 ) -> Vec<VertexId> {
@@ -144,7 +144,7 @@ pub(crate) fn greedy_rounds(
     anchors
 }
 
-fn bump_probed(state: &mut AnchoredCoreState<'_>, n: u64) {
+fn bump_probed<G: GraphView>(state: &mut AnchoredCoreState<'_, G>, n: u64) {
     // Metrics live inside the state; expose the probe count through a tiny
     // helper so all algorithms count identically.
     state.add_probed(n);
@@ -152,7 +152,7 @@ fn bump_probed(state: &mut AnchoredCoreState<'_>, n: u64) {
 
 /// Without Theorem-3 pruning, every non-core, non-anchored vertex is
 /// probed (the unoptimized Algorithm 2 candidate loop).
-fn all_probe_targets(state: &AnchoredCoreState<'_>) -> Vec<VertexId> {
+fn all_probe_targets<G: GraphView>(state: &AnchoredCoreState<'_, G>) -> Vec<VertexId> {
     let g = state.graph();
     g.vertices().filter(|&v| !state.in_core(v) && !state.anchors().contains(&v)).collect()
 }
@@ -164,17 +164,20 @@ impl AvtAlgorithm for Greedy {
 
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
         let mut reports = Vec::with_capacity(evolving.num_snapshots());
-        for (t, graph) in evolving.snapshots() {
-            reports.push(solve_snapshot(t, &graph, params, self.config));
+        // Per-snapshot solving is read-only, so each snapshot is consumed
+        // as a frozen CSR frame (materialized once, incrementally).
+        for (t, frame) in evolving.frames() {
+            reports.push(solve_snapshot(t, &frame, params, self.config));
         }
         Ok(AvtResult::from_reports(reports))
     }
 }
 
-/// Solve one snapshot from scratch (shared with OLAK-style baselines).
-fn solve_snapshot(
+/// Solve one snapshot from scratch (shared with OLAK-style baselines);
+/// `graph` may be any frozen [`GraphView`] substrate.
+fn solve_snapshot<G: GraphView>(
     t: usize,
-    graph: &Graph,
+    graph: &G,
     params: AvtParams,
     config: GreedyConfig,
 ) -> SnapshotReport {
@@ -199,7 +202,7 @@ fn solve_snapshot(
 mod tests {
     use super::*;
     use crate::oracle::naive_set_followers;
-    use avt_graph::EdgeBatch;
+    use avt_graph::{EdgeBatch, Graph};
 
     /// Two "wings" of savable vertices around a K4 core, k = 3. Anchoring
     /// 6 saves the left wing {4, 5}; anchoring 9 saves the right wing

@@ -21,7 +21,11 @@
 //! The shared engine is [`AnchoredCoreState`]: an anchored core
 //! decomposition overlay supporting exact local follower queries
 //! (forward-closure + fixpoint — the order-based acceleration of §4.2) and
-//! anchor commits.
+//! anchor commits. It is generic over the snapshot's
+//! [`avt_graph::GraphView`] substrate: the per-snapshot solvers (Greedy,
+//! OLAK, RCM, brute force) consume frozen [`avt_graph::CsrGraph`] frames
+//! from [`avt_graph::EvolvingGraph::frames`], while [`IncAvt`] keeps the
+//! mutable [`avt_graph::Graph`] its K-order maintenance edits in place.
 
 #![warn(missing_docs)]
 

@@ -35,9 +35,9 @@ impl AvtAlgorithm for Olak {
 
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
         let mut reports = Vec::with_capacity(evolving.num_snapshots());
-        for (t, graph) in evolving.snapshots() {
+        for (t, frame) in evolving.frames() {
             let start = Instant::now();
-            let mut state = AnchoredCoreState::new(&graph, params.k);
+            let mut state = AnchoredCoreState::new(&frame, params.k);
             let base_cores = state.base_cores_snapshot();
             let base_core_size = state.anchored_core_size();
 

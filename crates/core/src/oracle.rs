@@ -1,13 +1,18 @@
 //! Slow, obviously-correct reference implementations used as test oracles
 //! and by the brute-force baseline.
 
-use avt_graph::{Graph, VertexId};
+use avt_graph::{GraphView, VertexId};
 use avt_kcore::verify::simple_k_core;
 
 /// Followers of anchoring `x` on top of `anchors`, computed by peeling the
 /// whole graph twice (Definition 3 executed literally). O(k · m). Returns a
 /// sorted vertex list; empty when `x` is already in `C_k(anchors)`.
-pub fn naive_followers(graph: &Graph, k: u32, anchors: &[VertexId], x: VertexId) -> Vec<VertexId> {
+pub fn naive_followers<G: GraphView>(
+    graph: &G,
+    k: u32,
+    anchors: &[VertexId],
+    x: VertexId,
+) -> Vec<VertexId> {
     let before = simple_k_core(graph, k, anchors);
     if before[x as usize] || anchors.contains(&x) {
         return Vec::new();
@@ -23,14 +28,14 @@ pub fn naive_followers(graph: &Graph, k: u32, anchors: &[VertexId], x: VertexId)
 /// Size of the anchored k-core `|C_k(S)|` (Definition 4: the k-core plus
 /// the anchors plus their followers — equivalently, everything that
 /// survives peeling with the anchors unpeelable). O(k · m).
-pub fn naive_anchored_core_size(graph: &Graph, k: u32, anchors: &[VertexId]) -> usize {
+pub fn naive_anchored_core_size<G: GraphView>(graph: &G, k: u32, anchors: &[VertexId]) -> usize {
     let alive = simple_k_core(graph, k, anchors);
     alive.iter().filter(|&&a| a).count()
 }
 
 /// Followers of a whole anchor *set* relative to the unanchored k-core:
 /// `F_k(S, G_t)` of Definition 3. Sorted.
-pub fn naive_set_followers(graph: &Graph, k: u32, anchors: &[VertexId]) -> Vec<VertexId> {
+pub fn naive_set_followers<G: GraphView>(graph: &G, k: u32, anchors: &[VertexId]) -> Vec<VertexId> {
     let before = simple_k_core(graph, k, &[]);
     let after = simple_k_core(graph, k, anchors);
     (0..graph.num_vertices() as VertexId)
@@ -41,6 +46,7 @@ pub fn naive_set_followers(graph: &Graph, k: u32, anchors: &[VertexId]) -> Vec<V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use avt_graph::Graph;
 
     fn path5() -> Graph {
         Graph::from_edges(5, (0..4u32).map(|i| (i, i + 1))).unwrap()

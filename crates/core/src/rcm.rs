@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use avt_graph::{EvolvingGraph, GraphError, VertexId};
+use avt_graph::{EvolvingGraph, GraphError, GraphView, VertexId};
 
 use crate::anchored::AnchoredCoreState;
 use crate::greedy::select_best;
@@ -50,7 +50,10 @@ impl Rcm {
 }
 
 /// Rank candidates by anchor score; returns (score-sorted) candidates.
-fn ranked_candidates(state: &mut AnchoredCoreState<'_>, k: u32) -> Vec<(VertexId, f64)> {
+fn ranked_candidates<G: GraphView>(
+    state: &mut AnchoredCoreState<'_, G>,
+    k: u32,
+) -> Vec<(VertexId, f64)> {
     let graph = state.graph();
     let shell = k - 1;
     let n = graph.num_vertices();
@@ -106,9 +109,9 @@ impl AvtAlgorithm for Rcm {
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
         let mut reports = Vec::with_capacity(evolving.num_snapshots());
         let budget = self.eval_budget(params.l);
-        for (t, graph) in evolving.snapshots() {
+        for (t, frame) in evolving.frames() {
             let start = Instant::now();
-            let mut state = AnchoredCoreState::new(&graph, params.k);
+            let mut state = AnchoredCoreState::new(&frame, params.k);
             let base_cores = state.base_cores_snapshot();
             let base_core_size = state.anchored_core_size();
 

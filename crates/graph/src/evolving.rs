@@ -6,7 +6,7 @@
 //! more importantly — would hide the deltas the incremental algorithm feeds
 //! on, so an [`EvolvingGraph`] is the initial snapshot plus `T-1` batches.
 
-use crate::{EdgeBatch, Graph, GraphError, VertexId};
+use crate::{CsrGraph, EdgeBatch, Graph, GraphError, VertexId};
 
 /// An evolving graph: snapshot `G_1` plus the per-step churn.
 ///
@@ -76,7 +76,11 @@ impl EvolvingGraph {
         &self.batches
     }
 
-    /// Materialize snapshot `G_t` (`t` 1-based). O(m + churn up to t).
+    /// Materialize a *single* snapshot `G_t` (`t` 1-based) by replaying all
+    /// batches from `G_1`. O(m + total churn up to t) — calling this in a
+    /// loop over `t` is quadratic; iterate [`Self::frames`] (immutable CSR
+    /// frames) or [`Self::snapshots`] (mutable graphs) instead, which
+    /// materialize each snapshot once, incrementally.
     pub fn snapshot(&self, t: usize) -> Result<Graph, GraphError> {
         if t == 0 || t > self.num_snapshots() {
             return Err(GraphError::Parse {
@@ -95,6 +99,28 @@ impl EvolvingGraph {
     /// step costs only the batch size, not O(m)).
     pub fn snapshots(&self) -> SnapshotIter<'_> {
         SnapshotIter { evolving: self, current: None, next_t: 1 }
+    }
+
+    /// Iterate over snapshots `G_1..G_T` as immutable [`CsrGraph`] frames,
+    /// each materialized exactly once: frame `t+1` is derived from frame
+    /// `t` via [`CsrGraph::apply_batch`], so the whole walk costs
+    /// O(T·(n + m)) array merges instead of the O(T²·churn) a
+    /// [`Self::snapshot`]-in-a-loop pays. This is the substrate the
+    /// per-snapshot analysis algorithms consume.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use avt_graph::{EdgeBatch, EvolvingGraph, Graph};
+    ///
+    /// let g1 = Graph::from_edges(3, [(0, 1)]).unwrap();
+    /// let mut eg = EvolvingGraph::new(g1);
+    /// eg.push_batch(EdgeBatch::from_pairs([(1, 2)], []));
+    /// let edge_counts: Vec<_> = eg.frames().map(|(t, f)| (t, f.num_edges())).collect();
+    /// assert_eq!(edge_counts, vec![(1, 1), (2, 2)]);
+    /// ```
+    pub fn frames(&self) -> FrameIter<'_> {
+        FrameIter { evolving: self, current: None, next_t: 1 }
     }
 
     /// Truncate to the first `t` snapshots (used by the `T`-sweep
@@ -148,8 +174,54 @@ impl<'a> Iterator for SnapshotIter<'a> {
     }
 }
 
+/// Iterator over `(t, CsrGraph)` produced by [`EvolvingGraph::frames`].
+///
+/// Each step keeps one frame alive to derive the next from, so yielding
+/// costs one contiguous-array clone (two `memcpy`s) on top of the batch
+/// merge — still O(n + m) per frame with no replay from `G_1`.
+pub struct FrameIter<'a> {
+    evolving: &'a EvolvingGraph,
+    current: Option<CsrGraph>,
+    next_t: usize,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = (usize, CsrGraph);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let t = self.next_t;
+        if t > self.evolving.num_snapshots() {
+            return None;
+        }
+        let frame = match self.current.take() {
+            None => CsrGraph::from_graph(&self.evolving.initial),
+            Some(frame) => {
+                let batch = self
+                    .evolving
+                    .batch(t - 1)
+                    .expect("batch t-1 exists because t <= num_snapshots");
+                frame.apply_batch(batch).expect("evolving graph batches must apply cleanly")
+            }
+        };
+        // Keep a copy only while another frame will be derived from it;
+        // the final frame is handed out without a wasted clone.
+        self.current = (t < self.evolving.num_snapshots()).then(|| frame.clone());
+        self.next_t += 1;
+        Some((t, frame))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.evolving.num_snapshots() + 1 - self.next_t;
+        (left, Some(left))
+    }
+}
+
+impl<'a> ExactSizeIterator for FrameIter<'a> {}
+
 /// Convenience: the set of vertices touched by a batch (endpoints of all
-/// events), deduplicated.
+/// events), each reported exactly once, in ascending order. Candidate-
+/// pruning consumers (IncAVT's impacted pool) iterate this directly, so the
+/// sorted-and-deduplicated contract is load-bearing, not cosmetic.
 pub fn touched_vertices(batch: &EdgeBatch) -> Vec<VertexId> {
     let mut out: Vec<VertexId> =
         batch.insertions.iter().chain(batch.deletions.iter()).flat_map(|e| e.endpoints()).collect();
@@ -234,5 +306,45 @@ mod tests {
     fn touched_vertices_deduplicates() {
         let batch = EdgeBatch::from_pairs([(0, 1), (1, 2)], [(2, 3)]);
         assert_eq!(touched_vertices(&batch), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn touched_vertices_contract_each_vertex_once_sorted() {
+        // A vertex hit by many events — across insertions AND deletions,
+        // out of id order — must still appear exactly once, and the whole
+        // output must be ascending.
+        let batch = EdgeBatch::from_pairs([(9, 1), (1, 5), (5, 9)], [(1, 3), (9, 0)]);
+        let touched = touched_vertices(&batch);
+        assert_eq!(touched, vec![0, 1, 3, 5, 9]);
+        assert!(touched.windows(2).all(|w| w[0] < w[1]), "strictly ascending, no repeats");
+        // Empty batch: empty output.
+        assert!(touched_vertices(&EdgeBatch::new()).is_empty());
+    }
+
+    #[test]
+    fn frames_match_snapshot_materialization() {
+        let eg = sample();
+        let frames: Vec<(usize, crate::CsrGraph)> = eg.frames().collect();
+        assert_eq!(frames.len(), 3);
+        for (t, frame) in &frames {
+            let reference = eg.snapshot(*t).unwrap();
+            assert_eq!(frame.num_edges(), reference.num_edges(), "t={t}");
+            assert!(frame.to_graph().is_isomorphic_identity(&reference), "t={t}");
+        }
+        // Frames and mutable snapshots walk the same sequence.
+        for ((ft, f), (st, s)) in eg.frames().zip(eg.snapshots()) {
+            assert_eq!(ft, st);
+            assert!(f.to_graph().is_isomorphic_identity(&s));
+        }
+    }
+
+    #[test]
+    fn frames_is_exact_size() {
+        let eg = sample();
+        let mut it = eg.frames();
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.count(), 2);
     }
 }

@@ -84,9 +84,10 @@ impl Graph {
         })
     }
 
-    /// True when edge `(u, v)` is present. O(min(deg(u), deg(v))).
+    /// True when edge `(u, v)` is present; false for self-loops and
+    /// out-of-range endpoints. O(min(deg(u), deg(v))).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        if u == v {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
             return false;
         }
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
@@ -212,6 +213,7 @@ mod tests {
         assert!(g.has_edge(1, 0));
         assert!(!g.has_edge(0, 2));
         assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99), "out-of-range probe is false, not a panic");
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(1), 2);
     }

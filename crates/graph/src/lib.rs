@@ -1,41 +1,61 @@
 //! Dynamic undirected graph substrate for Anchored Vertex Tracking.
 //!
-//! This crate provides the graph representation shared by every other crate
-//! in the workspace:
+//! This crate provides the graph substrate shared by every other crate in
+//! the workspace:
 //!
-//! * [`Graph`] — a mutable, undirected simple graph over a *fixed* vertex set
-//!   `0..n` (the AVT paper assumes all snapshots of an evolving network share
-//!   one vertex set; vertices that have not joined yet simply have degree 0).
+//! * [`GraphView`] — the read-only trait every analysis layer is generic
+//!   over: counts, degrees, neighbourhood slices, membership probes, edge
+//!   iteration. The representation is a swappable axis, not a hard-coded
+//!   type.
+//! * [`Graph`] — the *mutable* substrate: an adjacency list
+//!   `Vec<Vec<VertexId>>` with unsorted neighbour vectors and `swap_remove`
+//!   deletion, over a *fixed* vertex set `0..n` (the AVT paper assumes all
+//!   snapshots of an evolving network share one vertex set; vertices that
+//!   have not joined yet simply have degree 0). This is the layout for
+//!   state that keeps *changing* — incremental K-order maintenance, batch
+//!   application — where O(deg) edge deletion matters.
+//! * [`CsrGraph`] — the *immutable* substrate: a compressed-sparse-row
+//!   layout (contiguous `offsets`/`targets` arrays, per-vertex-sorted) for
+//!   *frozen* snapshots that will only ever be scanned. Sequential
+//!   neighbourhood walks — the access pattern of the bucket peel and the
+//!   order-based follower queries — run over one dense array; membership
+//!   probes binary-search. Evolution is functional:
+//!   [`CsrGraph::apply_batch`] merges out the next frame in O(n + m +
+//!   churn log churn).
 //! * [`EdgeBatch`] / [`EvolvingGraph`] — the `E+`/`E-` delta model used by
-//!   the paper: an evolving network is an initial snapshot plus a sequence of
-//!   edge insertions and deletions.
+//!   the paper: an evolving network is an initial snapshot plus a sequence
+//!   of edge insertions and deletions. [`EvolvingGraph::frames`] walks the
+//!   snapshot sequence as CSR frames, each materialized exactly once.
 //! * [`io`] — SNAP-style whitespace edge-list parsing and writing, including
 //!   the timestamped variant used by the temporal datasets.
-//! * [`stats`] — the dataset statistics reported in Table 2 of the paper.
+//! * [`stats`] — the dataset statistics reported in Table 2 of the paper,
+//!   computable on either substrate.
 //!
-//! The representation is deliberately simple: an adjacency list
-//! `Vec<Vec<VertexId>>` with unsorted neighbour vectors and `swap_remove`
-//! deletion. Every algorithm in the workspace is neighbour-scan based, so
-//! this is the cache-friendliest layout that still supports O(deg) edge
-//! deletion, and it avoids the index-rebuild cost a CSR layout would pay on
-//! every snapshot transition.
+//! The two-substrate split mirrors how the AVT algorithms actually touch
+//! graphs: per-snapshot solvers (Greedy, OLAK, RCM, brute force) only read
+//! a frozen `G_t` and get the CSR layout; the incremental IncAVT maintains
+//! one mutable graph across snapshots and keeps the adjacency-list layout.
 
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod csr;
 pub mod edge;
 pub mod error;
 pub mod evolving;
 pub mod graph;
 pub mod io;
 pub mod stats;
+pub mod view;
 
 pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
 pub use edge::{Edge, EdgeBatch};
 pub use error::GraphError;
-pub use evolving::{EvolvingGraph, SnapshotIter};
+pub use evolving::{EvolvingGraph, FrameIter, SnapshotIter};
 pub use graph::Graph;
 pub use stats::GraphStats;
+pub use view::GraphView;
 
 /// Vertex identifier. Vertices are dense indices `0..n`.
 ///

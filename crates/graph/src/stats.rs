@@ -1,6 +1,6 @@
 //! Dataset statistics (Table 2 of the paper).
 
-use crate::{Graph, VertexId};
+use crate::{GraphView, VertexId};
 
 /// Summary statistics for one graph snapshot, mirroring the columns of the
 /// paper's Table 2 plus a few structural extras used in tests and the
@@ -24,8 +24,8 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    /// Compute statistics for `graph`. O(n + m).
-    pub fn compute(graph: &Graph) -> GraphStats {
+    /// Compute statistics for `graph` (any substrate). O(n + m).
+    pub fn compute<G: GraphView>(graph: &G) -> GraphStats {
         let n = graph.num_vertices();
         let mut seen = vec![false; n];
         let mut components = 0usize;
@@ -71,7 +71,7 @@ impl GraphStats {
 }
 
 /// Degree histogram: `hist[d]` = number of vertices with degree `d`.
-pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+pub fn degree_histogram<G: GraphView>(graph: &G) -> Vec<usize> {
     let mut hist = vec![0usize; graph.max_degree() + 1];
     for v in graph.vertices() {
         hist[graph.degree(v)] += 1;
@@ -82,6 +82,15 @@ pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CsrGraph, Graph};
+
+    #[test]
+    fn stats_agree_across_substrates() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(GraphStats::compute(&g), GraphStats::compute(&csr));
+        assert_eq!(degree_histogram(&g), degree_histogram(&csr));
+    }
 
     #[test]
     fn stats_of_two_triangles_and_isolate() {

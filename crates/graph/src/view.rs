@@ -1,0 +1,193 @@
+//! The read-only substrate abstraction every analysis layer is generic
+//! over.
+//!
+//! [`GraphView`] captures exactly the queries the AVT algorithms perform on
+//! a *frozen* snapshot: vertex/edge counts, degrees, neighbourhood scans,
+//! and membership probes. Two substrates implement it:
+//!
+//! * [`crate::Graph`] — the mutable `Vec<Vec<VertexId>>` adjacency, the
+//!   right layout while a snapshot is still being *edited* (incremental
+//!   K-order maintenance, batch application);
+//! * [`crate::CsrGraph`] — an immutable compressed-sparse-row layout with
+//!   one contiguous, per-vertex-sorted target array, the right layout once
+//!   a snapshot is *frozen* and will only ever be scanned.
+//!
+//! Making the representation a trait parameter (instead of hard-coding
+//! `&Graph`) is what lets `CoreDecomposition`, `AnchoredCoreState` and the
+//! per-snapshot solvers run unchanged on either substrate — and is the
+//! seam future substrates (mmap-backed CSR, sharded views) plug into.
+
+use crate::{Edge, VertexId};
+
+/// Read-only view of an undirected simple graph over vertices `0..n`.
+///
+/// The `Send + Sync` supertraits let generic algorithm code fan candidate
+/// evaluation out over threads without per-call-site bounds; every sensible
+/// substrate (owned vectors, mmap'd buffers) satisfies them.
+///
+/// # Example
+///
+/// ```
+/// use avt_graph::{CsrGraph, Graph, GraphView};
+///
+/// fn triangle_count<G: GraphView>(g: &G) -> usize {
+///     g.edges()
+///         .map(|e| g.neighbors(e.u).iter().filter(|&&w| w > e.v && g.has_edge(w, e.v)).count())
+///         .sum()
+/// }
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+/// let csr = CsrGraph::from_graph(&g);
+/// assert_eq!(triangle_count(&g), 1);
+/// assert_eq!(triangle_count(&csr), 1);
+/// ```
+pub trait GraphView: Send + Sync {
+    /// Number of vertices (the vertex set is always `0..n`).
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edges.
+    fn num_edges(&self) -> usize;
+
+    /// The neighbours of `u` as a slice (`nbr(u, G_t)` in the paper). The
+    /// ordering is substrate-specific: unspecified for [`crate::Graph`],
+    /// ascending for [`crate::CsrGraph`].
+    fn neighbors(&self, u: VertexId) -> &[VertexId];
+
+    /// True when edge `(u, v)` is present. Total: false for `u == v` and
+    /// for out-of-range endpoints on every substrate, so generic probe
+    /// loops behave identically wherever they run.
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool;
+
+    /// Degree of `u` (`d(u, G_t)` in the paper).
+    #[inline]
+    fn degree(&self, u: VertexId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    #[inline]
+    fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all edges, each reported once in normalized
+    /// (`u < v`) form.
+    fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().filter_map(move |&v| (u < v).then_some(Edge { u, v }))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for an edgeless graph).
+    fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for an empty vertex set).
+    fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+impl GraphView for crate::Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        crate::Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        crate::Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        crate::Graph::neighbors(self, u)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        crate::Graph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn degree(&self, u: VertexId) -> usize {
+        crate::Graph::degree(self, u)
+    }
+
+    fn max_degree(&self) -> usize {
+        crate::Graph::max_degree(self)
+    }
+
+    fn avg_degree(&self) -> f64 {
+        crate::Graph::avg_degree(self)
+    }
+}
+
+impl<G: GraphView> GraphView for &G {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    #[inline]
+    fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        (**self).neighbors(u)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        (**self).has_edge(u, v)
+    }
+
+    #[inline]
+    fn degree(&self, u: VertexId) -> usize {
+        (**self).degree(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CsrGraph, Graph};
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap()
+    }
+
+    /// Exercise every trait method through a generic function so both
+    /// substrates go through the same code path.
+    fn summarize<G: GraphView>(g: &G) -> (usize, usize, usize, Vec<Edge>, bool, bool) {
+        let mut edges: Vec<Edge> = g.edges().collect();
+        edges.sort();
+        (g.num_vertices(), g.num_edges(), g.max_degree(), edges, g.has_edge(0, 2), g.has_edge(0, 3))
+    }
+
+    #[test]
+    fn graph_and_csr_agree_through_the_trait() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(summarize(&g), summarize(&csr));
+        // The reference blanket impl forwards everything.
+        assert_eq!(summarize(&&g), summarize(&g));
+    }
+
+    #[test]
+    fn provided_methods_match_inherent_ones() {
+        let g = sample();
+        assert_eq!(GraphView::degree(&g, 2), 3);
+        assert_eq!(GraphView::vertices(&g).count(), 5);
+        assert_eq!(GraphView::max_degree(&g), 3);
+        assert!((GraphView::avg_degree(&g) - 1.6).abs() < 1e-12);
+        assert_eq!(GraphView::avg_degree(&Graph::new(0)), 0.0);
+    }
+}

@@ -6,7 +6,7 @@
 //! tombstones; the maintenance algorithms in [`crate::maintain`] rewrite at
 //! most three levels per edge update and leave everything else untouched.
 
-use avt_graph::{Graph, VertexId};
+use avt_graph::{GraphView, VertexId};
 
 use crate::decompose::CoreDecomposition;
 
@@ -68,8 +68,9 @@ impl KOrder {
         ko
     }
 
-    /// Build directly from a graph (decompose + index).
-    pub fn from_graph(graph: &Graph) -> Self {
+    /// Build directly from a graph (decompose + index); accepts any
+    /// [`GraphView`] substrate.
+    pub fn from_graph<G: GraphView>(graph: &G) -> Self {
         Self::from_decomposition(&CoreDecomposition::compute(graph))
     }
 
@@ -143,7 +144,7 @@ impl KOrder {
 
     /// Remaining degree `deg+(v)` = number of neighbours ordered after `v`.
     /// O(deg(v)).
-    pub fn deg_plus(&self, graph: &Graph, v: VertexId) -> u32 {
+    pub fn deg_plus<G: GraphView>(&self, graph: &G, v: VertexId) -> u32 {
         let key = self.order_key(v);
         graph.neighbors(v).iter().filter(|&&w| self.order_key(w) > key).count() as u32
     }
@@ -270,6 +271,7 @@ impl KOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use avt_graph::Graph;
 
     fn diamond() -> Graph {
         // 4-cycle with a chord plus pendant: cores 2,2,2,2,1

@@ -17,6 +17,14 @@
 //!   suite: core-number correctness against an independent peel oracle and
 //!   K-order validity via replaying the stored order as a peel.
 //!
+//! The read-only layers ([`CoreDecomposition`], [`KOrder`] construction,
+//! [`mcd`], [`CoreSpectrum`], the verifiers) are generic over
+//! [`avt_graph::GraphView`], so they run identically on the mutable
+//! adjacency-list substrate and on frozen [`avt_graph::CsrGraph`]
+//! snapshots. Only [`MaintainedCore`] is pinned to the mutable
+//! [`avt_graph::Graph`] — it *edits* the graph while repairing the K-order,
+//! which is exactly the work the immutable substrate refuses to do.
+//!
 //! # The validity invariant
 //!
 //! Everything in this crate preserves one invariant, stated once here and

@@ -1,17 +1,17 @@
 //! Max core degree (Definition 6 of the paper).
 
-use avt_graph::{Graph, VertexId};
+use avt_graph::{GraphView, VertexId};
 
 /// `mcd(u)`: the number of `u`'s neighbours whose core number is at least
 /// `core(u)`. Always `mcd(u) >= core(u)` in a consistent state; a deletion
 /// that pushes `mcd(u)` below `core(u)` forces a core decrement (Lemma 4).
-pub fn max_core_degree(graph: &Graph, cores: &[u32], u: VertexId) -> u32 {
+pub fn max_core_degree<G: GraphView>(graph: &G, cores: &[u32], u: VertexId) -> u32 {
     let cu = cores[u as usize];
     graph.neighbors(u).iter().filter(|&&w| cores[w as usize] >= cu).count() as u32
 }
 
 /// `mcd` for every vertex in one pass. O(n + m).
-pub fn max_core_degrees(graph: &Graph, cores: &[u32]) -> Vec<u32> {
+pub fn max_core_degrees<G: GraphView>(graph: &G, cores: &[u32]) -> Vec<u32> {
     let mut mcd = vec![0u32; graph.num_vertices()];
     for u in graph.vertices() {
         let cu = cores[u as usize];
@@ -28,6 +28,7 @@ pub fn max_core_degrees(graph: &Graph, cores: &[u32]) -> Vec<u32> {
 mod tests {
     use super::*;
     use crate::decompose::CoreDecomposition;
+    use avt_graph::Graph;
 
     #[test]
     fn mcd_of_paper_example() {

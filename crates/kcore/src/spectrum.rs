@@ -6,7 +6,7 @@
 //! where the core hierarchy actually lives. [`CoreSpectrum`] summarizes it
 //! once in O(n) after a decomposition.
 
-use avt_graph::Graph;
+use avt_graph::GraphView;
 
 use crate::decompose::CoreDecomposition;
 
@@ -31,8 +31,9 @@ impl CoreSpectrum {
         CoreSpectrum { shell }
     }
 
-    /// Decompose-and-summarize convenience.
-    pub fn of(graph: &Graph) -> Self {
+    /// Decompose-and-summarize convenience; accepts any [`GraphView`]
+    /// substrate.
+    pub fn of<G: GraphView>(graph: &G) -> Self {
         Self::from_decomposition(&CoreDecomposition::compute(graph))
     }
 
@@ -93,6 +94,7 @@ impl CoreSpectrum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use avt_graph::Graph;
 
     /// K4 core + two shell-2 vertices + a pendant.
     fn layered() -> Graph {

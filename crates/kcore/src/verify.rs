@@ -6,7 +6,7 @@
 //! that shares no logic with them. They are O(k·m) or worse and meant for
 //! tests and debug assertions, not production use.
 
-use avt_graph::{Graph, VertexId};
+use avt_graph::{GraphView, VertexId};
 
 use crate::decompose::{CoreDecomposition, ANCHOR_CORE};
 use crate::korder::KOrder;
@@ -16,7 +16,7 @@ use crate::korder::KOrder;
 ///
 /// This is Definition 1 (plus the anchored extension of Definition 4)
 /// executed literally.
-pub fn simple_k_core(graph: &Graph, k: u32, anchors: &[VertexId]) -> Vec<bool> {
+pub fn simple_k_core<G: GraphView>(graph: &G, k: u32, anchors: &[VertexId]) -> Vec<bool> {
     let n = graph.num_vertices();
     let mut alive = vec![true; n];
     let mut is_anchor = vec![false; n];
@@ -44,7 +44,7 @@ pub fn simple_k_core(graph: &Graph, k: u32, anchors: &[VertexId]) -> Vec<bool> {
 
 /// Naive core numbers for every vertex (anchors get [`ANCHOR_CORE`]).
 /// O(maxcore · n · m) — tests only.
-pub fn simple_core_numbers(graph: &Graph, anchors: &[VertexId]) -> Vec<u32> {
+pub fn simple_core_numbers<G: GraphView>(graph: &G, anchors: &[VertexId]) -> Vec<u32> {
     let n = graph.num_vertices();
     let mut is_anchor = vec![false; n];
     for &a in anchors {
@@ -79,8 +79,8 @@ pub fn simple_core_numbers(graph: &Graph, anchors: &[VertexId]) -> Vec<u32> {
 
 /// Panic with a description unless `decomposition` assigns exactly the core
 /// numbers the naive oracle computes.
-pub fn assert_cores_match_oracle(
-    graph: &Graph,
+pub fn assert_cores_match_oracle<G: GraphView>(
+    graph: &G,
     decomposition: &CoreDecomposition,
     anchors: &[VertexId],
 ) {
@@ -99,7 +99,7 @@ pub fn assert_cores_match_oracle(
 /// Together these certify the invariant documented in [`crate`], which the
 /// follower computation in `avt-core` depends on. Panics with a diagnostic
 /// on the first violation.
-pub fn assert_korder_valid(graph: &Graph, korder: &KOrder) {
+pub fn assert_korder_valid<G: GraphView>(graph: &G, korder: &KOrder) {
     let fresh = CoreDecomposition::compute(graph);
     for v in graph.vertices() {
         assert_eq!(
@@ -132,6 +132,7 @@ pub fn assert_korder_valid(graph: &Graph, korder: &KOrder) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use avt_graph::Graph;
 
     #[test]
     fn simple_k_core_triangle() {

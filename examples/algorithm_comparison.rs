@@ -13,7 +13,8 @@ use avt::kcore::CoreSpectrum;
 
 /// Pick the k whose (k-1)-shell is largest — the most anchorable setting
 /// for this particular graph (scaled stand-ins have shallower core
-/// hierarchies than their full-size originals).
+/// hierarchies than their full-size originals). One-shot final-snapshot
+/// access, so `snapshot(T)` is the right accessor (not a frame walk).
 fn most_anchorable_k(evolving: &avt::graph::EvolvingGraph) -> u32 {
     let last = evolving.snapshot(evolving.num_snapshots()).expect("final snapshot");
     CoreSpectrum::of(&last).most_anchorable_k().unwrap_or(2)

@@ -41,7 +41,9 @@ fn main() {
     println!("snapshot  no-anchors  frozen-S1  tracked-AVT  tracked anchors");
     let mut frozen_total = 0usize;
     let mut tracked_total = 0usize;
-    for (t, graph) in evolving.snapshots() {
+    // The per-snapshot analysis is read-only, so consume the evolving graph
+    // as immutable CSR frames (each materialized once, incrementally).
+    for (t, graph) in evolving.frames() {
         let base = k_core_size(CoreDecomposition::compute(&graph).cores(), params.k);
         let frozen_size = naive_anchored_core_size(&graph, params.k, &frozen);
         let tracked_size = tracked.reports[t - 1].anchored_core_size;

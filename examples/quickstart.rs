@@ -10,6 +10,7 @@
 
 use avt::algo::{AnchoredCoreState, AvtAlgorithm, AvtParams, Greedy};
 use avt::datasets::figure1::{self, u};
+use avt::graph::CsrGraph;
 use avt::kcore::{k_core_members, CoreDecomposition};
 
 fn label(v: avt::graph::VertexId) -> String {
@@ -28,18 +29,22 @@ fn main() {
     println!("The reading-hobby community of Figure 1:");
     println!("  {} users, {} friendships at t=1\n", g1.num_vertices(), g1.num_edges());
 
+    // Analysis is read-only, so freeze the snapshot into the immutable CSR
+    // substrate — the layout every per-snapshot algorithm consumes.
+    let frozen = CsrGraph::from_graph(g1);
+
     // Example 2: core decomposition.
-    let decomposition = CoreDecomposition::compute(g1);
+    let decomposition = CoreDecomposition::compute(&frozen);
     let core3 = k_core_members(decomposition.cores(), 3);
     println!("3-core at t=1 (the stable community): {}", labels(&core3));
 
     // Example 5: followers of a single anchored vertex.
-    let mut state = AnchoredCoreState::new(g1, 3);
+    let mut state = AnchoredCoreState::new(&frozen, 3);
     let followers = state.followers_of(u(15));
     println!("anchoring u15 alone would retain:    {}", labels(&followers));
 
     // Example 3: anchoring u7 and u10.
-    let mut state = AnchoredCoreState::new(g1, 3);
+    let mut state = AnchoredCoreState::new(&frozen, 3);
     let base = state.base_cores_snapshot();
     state.commit_anchor(u(7));
     state.commit_anchor(u(10));

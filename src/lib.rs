@@ -6,7 +6,11 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`graph`] — dynamic undirected graphs, edge batches, evolving graphs.
+//! * [`graph`] — the two-substrate graph layer: the [`graph::GraphView`]
+//!   trait, the mutable adjacency-list [`graph::Graph`], the immutable CSR
+//!   [`graph::CsrGraph`] for frozen snapshots, edge batches, and evolving
+//!   graphs with the incremental [`graph::EvolvingGraph::frames`] snapshot
+//!   pipeline.
 //! * [`kcore`] — k-core decomposition, the K-order index, and incremental
 //!   (order-based) core maintenance under edge insertions and deletions.
 //! * [`algo`] — the paper's contribution: anchored k-core machinery,
@@ -46,6 +50,8 @@ pub mod prelude {
         AnchoredCoreState, AvtAlgorithm, AvtParams, AvtResult, BruteForce, Greedy, IncAvt, Metrics,
         Olak, Rcm,
     };
-    pub use avt_graph::{Edge, EdgeBatch, EvolvingGraph, Graph, GraphStats, VertexId};
+    pub use avt_graph::{
+        CsrGraph, Edge, EdgeBatch, EvolvingGraph, Graph, GraphStats, GraphView, VertexId,
+    };
     pub use avt_kcore::{CoreDecomposition, KOrder};
 }
