@@ -36,7 +36,13 @@ options:
   --snapshots T  snapshot count            (default 30)
   --l L          anchor budget             (default 10)
   --seed N       generation seed           (default 42)
+  --threads N    engine workers per tracking run: 1 = sequential, 0 = one
+                 per core (default: AVT_ENGINE_THREADS, else 1); results
+                 are identical at any setting, only wall time moves
   --out DIR      CSV output directory      (default results/)
+
+Real data: place SNAP downloads under $AVT_DATA_DIR (default data/) and
+the matching experiments run on them instead of the synthetic stand-ins.
 ";
 
 struct Args {
@@ -64,6 +70,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--l" => ctx.l = value()?.parse().map_err(|e| format!("--l: {e}"))?,
             "--seed" => ctx.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                let threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+                avt_core::engine::set_default_threads(threads);
+            }
             "--out" => out = PathBuf::from(value()?),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -92,8 +102,13 @@ fn main() -> ExitCode {
     let ctx = &args.ctx;
     let all = datasets();
     eprintln!(
-        "# running '{}' at scale {} (T = {}, l = {}, seed = {})",
-        args.experiment, ctx.scale, ctx.snapshots, ctx.l, ctx.seed
+        "# running '{}' at scale {} (T = {}, l = {}, seed = {}, engine threads = {})",
+        args.experiment,
+        ctx.scale,
+        ctx.snapshots,
+        ctx.l,
+        ctx.seed,
+        avt_core::engine::default_threads()
     );
 
     let run_one = |name: &str| -> bool {

@@ -33,7 +33,7 @@ pub fn table2(ctx: &Context, datasets: &[Dataset]) -> Table {
     );
     for &ds in datasets {
         let spec = ds.spec();
-        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let eg = crate::dataset_instance(ctx, ds);
         // Temporal stand-ins ramp up from a sparse first period exactly
         // like the real streams; their Table 2 density is reached at
         // steady state, so measure the final snapshot (one-shot access:
@@ -66,7 +66,7 @@ pub fn fig3_4(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         &["dataset", "k_paper", "k_eff", "algorithm", "visited", "probed"],
     );
     for &ds in datasets {
-        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let eg = crate::dataset_instance(ctx, ds);
         for &k_paper in ds.k_sweep() {
             let k = calibrate_k(&eg, k_paper);
             let params = AvtParams::new(k, ctx.l);
@@ -110,7 +110,7 @@ pub fn fig5_6(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         &["dataset", "T", "algorithm", "visited"],
     );
     for &ds in datasets {
-        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let eg = crate::dataset_instance(ctx, ds);
         let params = AvtParams::new(calibrate_k(&eg, ds.default_k()), ctx.l);
         for algo in algorithms() {
             let result = run(algo.as_ref(), &eg, params);
@@ -152,7 +152,7 @@ pub fn fig7_8(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         &["dataset", "l", "algorithm", "visited"],
     );
     for &ds in datasets {
-        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let eg = crate::dataset_instance(ctx, ds);
         let k = calibrate_k(&eg, ds.default_k());
         for l in l_axis(ctx.l) {
             let params = AvtParams::new(k, l);
@@ -185,7 +185,7 @@ pub fn fig9(ctx: &Context, datasets: &[Dataset]) -> Table {
         &["dataset", "T", "algorithm", "followers"],
     );
     for &ds in datasets {
-        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let eg = crate::dataset_instance(ctx, ds);
         let params = AvtParams::new(calibrate_k(&eg, ds.default_k()), ctx.l);
         for algo in algorithms() {
             let result = run(algo.as_ref(), &eg, params);
@@ -215,7 +215,7 @@ pub fn fig10(ctx: &Context, datasets: &[Dataset]) -> Table {
         &["dataset", "l", "algorithm", "followers"],
     );
     for &ds in datasets {
-        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let eg = crate::dataset_instance(ctx, ds);
         let k = calibrate_k(&eg, ds.default_k());
         for l in l_axis(ctx.l) {
             let params = AvtParams::new(k, l);
@@ -241,7 +241,7 @@ pub fn fig11(ctx: &Context, datasets: &[Dataset]) -> Table {
         &["dataset", "k", "algorithm", "followers"],
     );
     for &ds in datasets {
-        let eg = ds.generate(ctx.scale, ctx.snapshots, ctx.seed);
+        let eg = crate::dataset_instance(ctx, ds);
         for &k_paper in ds.k_sweep().iter().take(3) {
             let k = calibrate_k(&eg, k_paper);
             let params = AvtParams::new(k, ctx.l);
@@ -263,7 +263,7 @@ pub fn fig11(ctx: &Context, datasets: &[Dataset]) -> Table {
 /// heuristic next to the brute-force optimum, at l = 2, k = 3.
 pub fn fig12(ctx: &Context) -> Table {
     let snapshots = ctx.snapshots.min(20);
-    let eg = Dataset::EuCore.generate(ctx.scale, snapshots, ctx.seed);
+    let eg = Dataset::EuCore.load_or_generate(ctx.scale, snapshots, ctx.seed);
     let params = AvtParams::new(crate::most_anchorable_k(&eg), 2);
     let mut table = Table::new(
         format!("Figure 12: followers vs brute force (eu-core stand-in, l=2, k={})", params.k),
@@ -288,7 +288,7 @@ pub fn fig12(ctx: &Context) -> Table {
 /// Table 4: selected anchors and their followers at the first snapshot of
 /// the eu-core case study.
 pub fn table4(ctx: &Context) -> Table {
-    let eg = Dataset::EuCore.generate(ctx.scale, 1, ctx.seed);
+    let eg = Dataset::EuCore.load_or_generate(ctx.scale, 1, ctx.seed);
     let params = AvtParams::new(crate::most_anchorable_k(&eg), 2);
     let mut table = Table::new(
         format!(

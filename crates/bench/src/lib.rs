@@ -76,6 +76,13 @@ pub fn datasets() -> [Dataset; 6] {
     Dataset::ALL
 }
 
+/// The evolving instance an experiment runs on: the genuine SNAP data when
+/// present under [`avt_datasets::data_dir`], the deterministic synthetic
+/// stand-in otherwise (scaled by `ctx.scale`).
+pub fn dataset_instance(ctx: &Context, ds: Dataset) -> EvolvingGraph {
+    ds.load_or_generate(ctx.scale, ctx.snapshots, ctx.seed)
+}
+
 /// Snap a paper k-value into the scaled stand-in's core spectrum.
 ///
 /// The paper's k values (Table 3) were chosen for the full-size datasets;

@@ -12,6 +12,7 @@ use std::time::Instant;
 use avt_graph::{EvolvingGraph, GraphError, GraphView, VertexId};
 use avt_kcore::decompose::CoreDecomposition;
 
+use crate::engine::{Engine, SnapshotSolver};
 use crate::oracle::naive_set_followers;
 use crate::params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
 
@@ -134,55 +135,64 @@ impl AvtAlgorithm for BruteForce {
     }
 
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
-        let mut reports = Vec::with_capacity(evolving.num_snapshots());
-        let mut scratch = PeelScratch::new(evolving.num_vertices());
-        for (t, graph) in evolving.frames() {
-            let start = Instant::now();
-            let decomp = CoreDecomposition::compute(&graph);
-            let base_core_size = decomp.cores().iter().filter(|&&c| c >= params.k).count();
-            let pool = self.pool(&graph, decomp.cores(), params.k);
-            let l = params.l.min(pool.len());
+        Engine::default().run(self, evolving, params)
+    }
+}
 
-            let mut best_size = base_core_size;
-            let mut best_set: Vec<VertexId> = Vec::new();
-            let mut probed = 0u64;
-            let mut visited = 0u64;
-            let mut current = Vec::with_capacity(l);
-            for_each_combination(&pool, l, &mut current, 0, &mut |set| {
-                probed += 1;
-                visited += graph.num_vertices() as u64;
-                let size = scratch.anchored_core_size(&graph, params.k, set);
-                // Strictly-better wins; the anchored core size already
-                // counts the anchors themselves, so any nonempty set beats
-                // the empty one and ties resolve to the first (lexically
-                // smallest) combination.
-                if size > best_size {
-                    best_size = size;
-                    best_set = set.to_vec();
-                }
-            });
+impl SnapshotSolver for BruteForce {
+    fn solve_snapshot<G: GraphView>(
+        &self,
+        t: usize,
+        frame: &G,
+        params: AvtParams,
+    ) -> SnapshotReport {
+        let start = Instant::now();
+        // Fresh scratch per snapshot: O(n) to set up, and it keeps the
+        // solver stateless across snapshots (the engine's contract).
+        let mut scratch = PeelScratch::new(frame.num_vertices());
+        let decomp = CoreDecomposition::compute(frame);
+        let base_core_size = decomp.cores().iter().filter(|&&c| c >= params.k).count();
+        let pool = self.pool(frame, decomp.cores(), params.k);
+        let l = params.l.min(pool.len());
 
-            let followers = naive_set_followers(&graph, params.k, &best_set);
-            let anchored_core_size = base_core_size
-                + followers.len()
-                + best_set.iter().filter(|&&a| decomp.core(a) < params.k).count();
-            let metrics = crate::metrics::Metrics {
-                candidates_probed: probed,
-                vertices_visited: visited,
-                follower_evaluations: probed,
-                rebuilds: 0,
-            };
-            reports.push(SnapshotReport {
-                t,
-                anchors: best_set,
-                followers,
-                base_core_size,
-                anchored_core_size,
-                elapsed: start.elapsed(),
-                metrics,
-            });
+        let mut best_size = base_core_size;
+        let mut best_set: Vec<VertexId> = Vec::new();
+        let mut probed = 0u64;
+        let mut visited = 0u64;
+        let mut current = Vec::with_capacity(l);
+        for_each_combination(&pool, l, &mut current, 0, &mut |set| {
+            probed += 1;
+            visited += frame.num_vertices() as u64;
+            let size = scratch.anchored_core_size(frame, params.k, set);
+            // Strictly-better wins; the anchored core size already counts
+            // the anchors themselves, so any nonempty set beats the empty
+            // one and ties resolve to the first (lexically smallest)
+            // combination.
+            if size > best_size {
+                best_size = size;
+                best_set = set.to_vec();
+            }
+        });
+
+        let followers = naive_set_followers(frame, params.k, &best_set);
+        let anchored_core_size = base_core_size
+            + followers.len()
+            + best_set.iter().filter(|&&a| decomp.core(a) < params.k).count();
+        let metrics = crate::metrics::Metrics {
+            candidates_probed: probed,
+            vertices_visited: visited,
+            follower_evaluations: probed,
+            rebuilds: 0,
+        };
+        SnapshotReport {
+            t,
+            anchors: best_set,
+            followers,
+            base_core_size,
+            anchored_core_size,
+            elapsed: start.elapsed(),
+            metrics,
         }
-        Ok(AvtResult::from_reports(reports))
     }
 }
 

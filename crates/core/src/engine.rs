@@ -1,0 +1,400 @@
+//! The temporal execution engine: one replay loop for every per-snapshot
+//! solver.
+//!
+//! Every per-snapshot algorithm (Greedy, OLAK, RCM, brute force) used to
+//! hand-roll the same `for (t, frame) in evolving.frames()` control flow.
+//! The engine extracts that loop once, behind the [`SnapshotSolver`] trait,
+//! and gives it two interchangeable runners:
+//!
+//! * [`run_sequential`] — the original loop, bit-identical output;
+//! * [`run_pipelined`] — a producer thread materializes CSR frames in
+//!   `t`-order (each derived from the previous via
+//!   [`avt_graph::CsrGraph::apply_batch`], an inherently sequential chain)
+//!   and hands `Arc<CsrGraph>` frames to a [`std::thread::scope`] worker
+//!   pool that solves snapshots concurrently while the next frame is still
+//!   being merged.
+//!
+//! # Determinism
+//!
+//! Each snapshot is solved in isolation from every other, reports are
+//! collected back in `t`-order, and [`AvtResult::from_reports`] aggregates
+//! by folding over that sorted sequence — so anchors, followers, and every
+//! efficiency counter of a pipelined run are identical to a sequential
+//! run's, whatever the thread count. Only the wall-clock fields
+//! (`elapsed`) vary run to run, exactly as they already did sequentially.
+//!
+//! # Choosing a runner
+//!
+//! [`Engine::default`] is sequential unless overridden: the
+//! `AVT_ENGINE_THREADS` environment variable (or
+//! [`set_default_threads`], which takes precedence) switches every solver
+//! whose `track` routes through the engine to the pipelined runner without
+//! touching call sites. [`IncAvt`](crate::IncAvt) is *not* an engine
+//! client: its whole point is carrying K-order state from `G_{t-1}` to
+//! `G_t`, which is exactly the dependency the pipeline exploits the absence
+//! of.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use avt_graph::{EvolvingGraph, GraphError, GraphView};
+
+use crate::params::{AvtParams, AvtResult, SnapshotReport};
+
+/// A solver for one frozen snapshot of the evolving graph.
+///
+/// Implementors solve the anchored-k-core problem on a single frame with no
+/// state carried between snapshots — that independence is what lets the
+/// engine fan snapshots out across threads. The frame is any
+/// [`GraphView`] substrate; the engine feeds immutable CSR frames.
+pub trait SnapshotSolver: Send + Sync {
+    /// Solve snapshot `t` (1-based) on the frozen `frame`.
+    fn solve_snapshot<G: GraphView>(
+        &self,
+        t: usize,
+        frame: &G,
+        params: AvtParams,
+    ) -> SnapshotReport;
+}
+
+/// Sentinel for "no process-wide override installed".
+const UNSET: usize = usize::MAX;
+
+/// Process-wide default worker count, settable by harnesses (e.g. the
+/// `run_experiments --threads` flag). `UNSET` defers to the environment.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Install a process-wide default worker count for [`Engine::default`].
+/// `0` means one worker per available core; takes precedence over the
+/// `AVT_ENGINE_THREADS` environment variable.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(resolve_threads(threads), Ordering::Relaxed);
+}
+
+/// The worker count [`Engine::default`] will use: the
+/// [`set_default_threads`] override if installed, else `AVT_ENGINE_THREADS`
+/// from the environment (`0` = one per core), else 1 (sequential).
+pub fn default_threads() -> usize {
+    let installed = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if installed != UNSET {
+        return installed;
+    }
+    match std::env::var("AVT_ENGINE_THREADS") {
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(n) => resolve_threads(n),
+            Err(_) => {
+                // Loud fallback: silently going sequential would make a
+                // "pipelined CI pass" with a typo'd value test nothing.
+                eprintln!(
+                    "warning: AVT_ENGINE_THREADS={value:?} is not a number; running sequential"
+                );
+                1
+            }
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Resolve a user-facing thread knob: `0` means one worker per available
+/// core ([`std::thread::available_parallelism`]), any other value is taken
+/// literally (`1` = explicitly sequential).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// The temporal execution engine: replays an [`EvolvingGraph`] and solves
+/// every snapshot with one [`SnapshotSolver`], sequentially or pipelined.
+///
+/// # Example
+///
+/// ```
+/// use avt_core::{AvtParams, Engine, Greedy};
+/// use avt_graph::{EdgeBatch, EvolvingGraph, Graph};
+///
+/// let g1 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 0), (3, 1), (4, 3)]).unwrap();
+/// let mut eg = EvolvingGraph::new(g1);
+/// eg.push_batch(EdgeBatch::from_pairs([(4, 0)], []));
+///
+/// let params = AvtParams::new(2, 1);
+/// let seq = Engine::sequential().run(&Greedy::default(), &eg, params).unwrap();
+/// let par = Engine::pipelined(4).run(&Greedy::default(), &eg, params).unwrap();
+/// assert_eq!(seq.anchor_sets, par.anchor_sets);
+/// assert_eq!(seq.follower_counts, par.follower_counts);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Default for Engine {
+    /// The process default: sequential unless `AVT_ENGINE_THREADS` /
+    /// [`set_default_threads`] say otherwise (see [`default_threads`]).
+    fn default() -> Self {
+        Engine { threads: default_threads() }
+    }
+}
+
+impl Engine {
+    /// The sequential runner: current behaviour, bit-identical output.
+    pub fn sequential() -> Self {
+        Engine { threads: 1 }
+    }
+
+    /// The pipelined runner with `threads` workers (`0` = one per core).
+    ///
+    /// Note [`Self::run`] dispatches on the *resolved* count: a count of 1
+    /// (including `0` resolved on a single-core host) takes the sequential
+    /// loop, since a 1-worker pipeline only adds queue overhead. Call
+    /// [`run_pipelined`] directly to force the producer/worker machinery
+    /// at any worker count.
+    pub fn pipelined(threads: usize) -> Self {
+        Engine { threads: resolve_threads(threads) }
+    }
+
+    /// The worker count this engine will run with (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Replay `evolving` through `solver`, dispatching to
+    /// [`run_sequential`] or [`run_pipelined`] by the configured worker
+    /// count.
+    pub fn run<S: SnapshotSolver>(
+        &self,
+        solver: &S,
+        evolving: &EvolvingGraph,
+        params: AvtParams,
+    ) -> Result<AvtResult, GraphError> {
+        if self.threads > 1 {
+            run_pipelined(solver, evolving, params, self.threads)
+        } else {
+            run_sequential(solver, evolving, params)
+        }
+    }
+}
+
+/// Solve every snapshot in order on the calling thread — the exact loop the
+/// per-solver `track` implementations used to hand-roll, on the
+/// zero-clone [`EvolvingGraph::frames_arc`] walk (plain
+/// [`EvolvingGraph::frames`] deep-clones every non-final frame to keep
+/// deriving; the `Arc` walk only bumps a refcount).
+pub fn run_sequential<S: SnapshotSolver>(
+    solver: &S,
+    evolving: &EvolvingGraph,
+    params: AvtParams,
+) -> Result<AvtResult, GraphError> {
+    let mut reports = Vec::with_capacity(evolving.num_snapshots());
+    for (t, frame) in evolving.frames_arc() {
+        reports.push(solver.solve_snapshot(t, frame.as_ref(), params));
+    }
+    Ok(AvtResult::from_reports(reports))
+}
+
+/// Pipelined replay: one producer thread walks
+/// [`EvolvingGraph::frames_arc`] (frame `t+1` merged while frame `t` is
+/// being solved) feeding a bounded queue drained by `threads` workers;
+/// reports are collected back in `t`-order. `0` = one worker per core.
+///
+/// Identical output to [`run_sequential`] — see the module docs on
+/// determinism. Even `threads == 1` runs the real producer/worker pipeline
+/// (frame merging overlaps solving), so equivalence tests exercise the
+/// machinery rather than a shortcut.
+pub fn run_pipelined<S: SnapshotSolver>(
+    solver: &S,
+    evolving: &EvolvingGraph,
+    params: AvtParams,
+    threads: usize,
+) -> Result<AvtResult, GraphError> {
+    let threads = resolve_threads(threads);
+    let total = evolving.num_snapshots();
+    // Bounded frame queue: the producer stays at most ~2 frames per worker
+    // ahead, so resident memory is O(threads · frame), not O(T · frame).
+    let (frame_tx, frame_rx) = mpsc::sync_channel::<(usize, Arc<avt_graph::CsrGraph>)>(2 * threads);
+    // Each worker owns an Arc to the shared receiver: when the last worker
+    // exits — normally or by unwinding — the receiver drops, the producer's
+    // next send errors, and the scope can finish joining. A stack-owned
+    // receiver would outlive panicking workers and deadlock the producer.
+    let frame_rx = Arc::new(Mutex::new(frame_rx));
+    let (report_tx, report_rx) = mpsc::channel::<SnapshotReport>();
+
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for (t, frame) in evolving.frames_arc() {
+                if frame_tx.send((t, frame)).is_err() {
+                    // All workers are gone (one panicked); stop producing —
+                    // the scope will re-raise their panic.
+                    break;
+                }
+            }
+        });
+        for _ in 0..threads {
+            let report_tx = report_tx.clone();
+            let frame_rx = Arc::clone(&frame_rx);
+            scope.spawn(move || loop {
+                // Hold the lock only for the dequeue; solving runs
+                // unlocked so workers overlap.
+                let job = frame_rx.lock().expect("frame queue lock poisoned").recv();
+                let Ok((t, frame)) = job else { break };
+                let report = solver.solve_snapshot(t, frame.as_ref(), params);
+                if report_tx.send(report).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(report_tx);
+        drop(frame_rx);
+    });
+
+    let mut reports: Vec<SnapshotReport> = report_rx.iter().collect();
+    assert_eq!(reports.len(), total, "every snapshot must produce exactly one report");
+    reports.sort_by_key(|r| r.t);
+    Ok(AvtResult::from_reports(reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AvtAlgorithm, BruteForce, Greedy, Olak, Rcm};
+    use avt_graph::{EdgeBatch, Graph};
+
+    fn churny() -> EvolvingGraph {
+        let g1 = Graph::from_edges(
+            10,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 0),
+                (4, 5),
+                (5, 2),
+                (5, 3),
+                (6, 4),
+                (7, 0),
+                (7, 2),
+                (7, 8),
+                (8, 1),
+                (9, 8),
+            ],
+        )
+        .unwrap();
+        let mut eg = EvolvingGraph::new(g1);
+        eg.push_batch(EdgeBatch::from_pairs([(6, 5)], []));
+        eg.push_batch(EdgeBatch::from_pairs([(9, 7)], [(4, 5)]));
+        eg.push_batch(EdgeBatch::from_pairs([(4, 5)], [(9, 7)]));
+        eg
+    }
+
+    /// Everything determinism covers, per snapshot (wall clock excluded).
+    type Shape = Vec<(usize, Vec<u32>, Vec<u32>, usize, usize, crate::Metrics)>;
+
+    /// Strip the wall-clock fields, keeping everything determinism covers.
+    fn shape(r: &AvtResult) -> Shape {
+        r.reports
+            .iter()
+            .map(|s| {
+                (
+                    s.t,
+                    s.anchors.clone(),
+                    s.followers.clone(),
+                    s.base_core_size,
+                    s.anchored_core_size,
+                    s.metrics,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_for_every_solver() {
+        let eg = churny();
+        let params = AvtParams::new(3, 2);
+        let brute = BruteForce { pool_cap: Some(6) };
+        for threads in [1, 2, 4] {
+            macro_rules! check {
+                ($solver:expr) => {
+                    let seq = run_sequential(&$solver, &eg, params).unwrap();
+                    let par = run_pipelined(&$solver, &eg, params, threads).unwrap();
+                    assert_eq!(shape(&seq), shape(&par), "threads = {threads}");
+                };
+            }
+            check!(Greedy::default());
+            check!(Olak);
+            check!(Rcm::default());
+            check!(brute);
+        }
+    }
+
+    #[test]
+    fn engine_dispatch_matches_runners() {
+        let eg = churny();
+        let params = AvtParams::new(3, 1);
+        let solver = Greedy::default();
+        let seq = Engine::sequential().run(&solver, &eg, params).unwrap();
+        let par = Engine::pipelined(3).run(&solver, &eg, params).unwrap();
+        assert_eq!(shape(&seq), shape(&par));
+        assert_eq!(Engine::sequential().threads(), 1);
+        assert_eq!(Engine::pipelined(3).threads(), 3);
+        // `pipelined(0)` resolves to the available parallelism (≥ 1; on a
+        // single-core host `run` then takes the sequential loop).
+        assert!(Engine::pipelined(0).threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // A solver that dies on one snapshot: the run must panic (scope
+        // re-raises), not hang with the producer blocked on a full queue.
+        struct Dies;
+        impl SnapshotSolver for Dies {
+            fn solve_snapshot<G: avt_graph::GraphView>(
+                &self,
+                t: usize,
+                frame: &G,
+                params: AvtParams,
+            ) -> SnapshotReport {
+                assert!(t != 2, "deliberate worker death at t = 2");
+                Olak.solve_snapshot(t, frame, params)
+            }
+        }
+        let eg = churny();
+        let result = std::panic::catch_unwind(|| {
+            let _ = run_pipelined(&Dies, &eg, AvtParams::new(3, 1), 1);
+        });
+        assert!(result.is_err(), "the worker panic must surface");
+    }
+
+    #[test]
+    fn track_goes_through_the_engine() {
+        // The per-solver `track` entry points route through the default
+        // engine; whatever runner that picks, output must equal an explicit
+        // sequential run.
+        let eg = churny();
+        let params = AvtParams::new(3, 2);
+        let tracked = Greedy::default().track(&eg, params).unwrap();
+        let seq = run_sequential(&Greedy::default(), &eg, params).unwrap();
+        assert_eq!(shape(&tracked), shape(&seq));
+    }
+
+    #[test]
+    fn resolve_threads_semantics() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn single_snapshot_pipeline() {
+        let eg = EvolvingGraph::new(Graph::from_edges(4, [(0, 1), (1, 2), (2, 0)]).unwrap());
+        let params = AvtParams::new(2, 1);
+        let seq = run_sequential(&Olak, &eg, params).unwrap();
+        let par = run_pipelined(&Olak, &eg, params, 4).unwrap();
+        assert_eq!(shape(&seq), shape(&par));
+        assert_eq!(par.reports.len(), 1);
+    }
+}

@@ -17,6 +17,7 @@ use std::time::Instant;
 use avt_graph::{EvolvingGraph, GraphError, GraphView, VertexId};
 
 use crate::anchored::AnchoredCoreState;
+use crate::engine::{resolve_threads, Engine, SnapshotSolver};
 use crate::params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
 
 /// Tuning switches for [`Greedy`] (ablations + the parallel extension).
@@ -27,9 +28,11 @@ pub struct GreedyConfig {
     /// Use the order-based (forward-closure) follower computation (§4.2);
     /// when false, the undirected whole-shell search is used.
     pub order_based_followers: bool,
-    /// Evaluate candidates on this many worker threads (0 or 1 =
-    /// sequential). An extension beyond the paper; results are identical
-    /// because evaluation is read-only and the tie-break is deterministic.
+    /// Evaluate candidates on this many worker threads: `0` = one per
+    /// available core ([`std::thread::available_parallelism`]), `1` (the
+    /// default) = explicitly sequential. An extension beyond the paper;
+    /// results are identical because evaluation is read-only and the
+    /// tie-break is deterministic.
     pub threads: usize,
 }
 
@@ -132,8 +135,9 @@ pub(crate) fn greedy_rounds<G: GraphView>(
         let candidates =
             if config.prune_candidates { state.candidates() } else { all_probe_targets(state) };
         bump_probed(state, candidates.len() as u64);
-        let best = if config.threads > 1 && candidates.len() >= 2 * config.threads {
-            select_best_parallel(state, &candidates, config.order_based_followers, config.threads)
+        let threads = resolve_threads(config.threads);
+        let best = if threads > 1 && candidates.len() >= 2 * threads {
+            select_best_parallel(state, &candidates, config.order_based_followers, threads)
         } else {
             select_best(state, &candidates, config.order_based_followers)
         };
@@ -163,38 +167,32 @@ impl AvtAlgorithm for Greedy {
     }
 
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
-        let mut reports = Vec::with_capacity(evolving.num_snapshots());
-        // Per-snapshot solving is read-only, so each snapshot is consumed
-        // as a frozen CSR frame (materialized once, incrementally).
-        for (t, frame) in evolving.frames() {
-            reports.push(solve_snapshot(t, &frame, params, self.config));
-        }
-        Ok(AvtResult::from_reports(reports))
+        Engine::default().run(self, evolving, params)
     }
 }
 
-/// Solve one snapshot from scratch (shared with OLAK-style baselines);
-/// `graph` may be any frozen [`GraphView`] substrate.
-fn solve_snapshot<G: GraphView>(
-    t: usize,
-    graph: &G,
-    params: AvtParams,
-    config: GreedyConfig,
-) -> SnapshotReport {
-    let start = Instant::now();
-    let mut state = AnchoredCoreState::new(graph, params.k);
-    let base_cores = state.base_cores_snapshot();
-    let base_core_size = state.anchored_core_size();
-    let anchors = greedy_rounds(&mut state, params.l, config);
-    let followers = state.committed_followers(&base_cores);
-    SnapshotReport {
-        t,
-        anchors,
-        followers,
-        base_core_size,
-        anchored_core_size: state.anchored_core_size(),
-        elapsed: start.elapsed(),
-        metrics: state.take_metrics(),
+impl SnapshotSolver for Greedy {
+    fn solve_snapshot<G: GraphView>(
+        &self,
+        t: usize,
+        frame: &G,
+        params: AvtParams,
+    ) -> SnapshotReport {
+        let start = Instant::now();
+        let mut state = AnchoredCoreState::new(frame, params.k);
+        let base_cores = state.base_cores_snapshot();
+        let base_core_size = state.anchored_core_size();
+        let anchors = greedy_rounds(&mut state, params.l, self.config);
+        let followers = state.committed_followers(&base_cores);
+        SnapshotReport {
+            t,
+            anchors,
+            followers,
+            base_core_size,
+            anchored_core_size: state.anchored_core_size(),
+            elapsed: start.elapsed(),
+            metrics: state.take_metrics(),
+        }
     }
 }
 
@@ -291,6 +289,22 @@ mod tests {
             .unwrap();
         assert_eq!(seq.anchor_sets, par.anchor_sets);
         assert_eq!(seq.follower_counts, par.follower_counts);
+    }
+
+    #[test]
+    fn zero_threads_means_auto_parallel() {
+        // `threads: 0` resolves to the available parallelism (≥ 1), never
+        // to "sequential" — and the answers stay identical either way.
+        let g = winged();
+        let eg = EvolvingGraph::new(g);
+        let params = AvtParams::new(3, 2);
+        let seq = Greedy::default().track(&eg, params).unwrap();
+        let auto = Greedy::with_config(GreedyConfig { threads: 0, ..Default::default() })
+            .track(&eg, params)
+            .unwrap();
+        assert_eq!(seq.anchor_sets, auto.anchor_sets);
+        assert_eq!(seq.follower_counts, auto.follower_counts);
+        assert!(crate::engine::resolve_threads(0) >= 1);
     }
 
     #[test]

@@ -18,20 +18,30 @@
 //! (follower counts per snapshot) and the efficiency counters the paper
 //! plots ([`Metrics`]): wall time, candidates probed, and vertices visited.
 //!
-//! The shared engine is [`AnchoredCoreState`]: an anchored core
-//! decomposition overlay supporting exact local follower queries
-//! (forward-closure + fixpoint — the order-based acceleration of §4.2) and
-//! anchor commits. It is generic over the snapshot's
-//! [`avt_graph::GraphView`] substrate: the per-snapshot solvers (Greedy,
-//! OLAK, RCM, brute force) consume frozen [`avt_graph::CsrGraph`] frames
-//! from [`avt_graph::EvolvingGraph::frames`], while [`IncAvt`] keeps the
-//! mutable [`avt_graph::Graph`] its K-order maintenance edits in place.
+//! Two shared layers sit underneath the solvers:
+//!
+//! * [`AnchoredCoreState`] — an anchored core decomposition overlay
+//!   supporting exact local follower queries (forward-closure + fixpoint —
+//!   the order-based acceleration of §4.2) and anchor commits. It is
+//!   generic over the snapshot's [`avt_graph::GraphView`] substrate.
+//! * [`Engine`] — the temporal execution engine. Every per-snapshot solver
+//!   implements [`SnapshotSolver`] (solve one frozen frame, no state
+//!   across snapshots) and its `track` routes through the engine, which
+//!   owns the *only* replay loop: [`engine::run_sequential`] walks frozen
+//!   [`avt_graph::CsrGraph`] frames on one thread, while
+//!   [`engine::run_pipelined`] overlaps frame materialization with a
+//!   worker pool solving snapshots concurrently — identical output,
+//!   selected per process via `AVT_ENGINE_THREADS` or per call via
+//!   [`Engine::pipelined`]. [`IncAvt`] is the deliberate exception: it
+//!   carries K-order state between snapshots, so it keeps the mutable
+//!   [`avt_graph::Graph`] and its own sequential walk.
 
 #![warn(missing_docs)]
 
 pub mod anchored;
 pub mod brute;
 pub mod drift;
+pub mod engine;
 pub mod greedy;
 pub mod incavt;
 pub mod metrics;
@@ -43,6 +53,7 @@ pub mod reduction;
 
 pub use anchored::AnchoredCoreState;
 pub use brute::BruteForce;
+pub use engine::{Engine, SnapshotSolver};
 pub use greedy::{Greedy, GreedyConfig};
 pub use incavt::IncAvt;
 pub use metrics::Metrics;

@@ -17,9 +17,10 @@
 
 use std::time::Instant;
 
-use avt_graph::{EvolvingGraph, GraphError};
+use avt_graph::{EvolvingGraph, GraphError, GraphView};
 
 use crate::anchored::AnchoredCoreState;
+use crate::engine::{Engine, SnapshotSolver};
 use crate::greedy::select_best;
 use crate::params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
 
@@ -34,36 +35,43 @@ impl AvtAlgorithm for Olak {
     }
 
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
-        let mut reports = Vec::with_capacity(evolving.num_snapshots());
-        for (t, frame) in evolving.frames() {
-            let start = Instant::now();
-            let mut state = AnchoredCoreState::new(&frame, params.k);
-            let base_cores = state.base_cores_snapshot();
-            let base_core_size = state.anchored_core_size();
+        Engine::default().run(self, evolving, params)
+    }
+}
 
-            let mut anchors = Vec::with_capacity(params.l);
-            for _ in 0..params.l {
-                let candidates = state.candidates_unordered();
-                state.add_probed(candidates.len() as u64);
-                let Some((v, _gain)) = select_best(&mut state, &candidates, false) else {
-                    break;
-                };
-                state.commit_anchor(v);
-                anchors.push(v);
-            }
+impl SnapshotSolver for Olak {
+    fn solve_snapshot<G: GraphView>(
+        &self,
+        t: usize,
+        frame: &G,
+        params: AvtParams,
+    ) -> SnapshotReport {
+        let start = Instant::now();
+        let mut state = AnchoredCoreState::new(frame, params.k);
+        let base_cores = state.base_cores_snapshot();
+        let base_core_size = state.anchored_core_size();
 
-            let followers = state.committed_followers(&base_cores);
-            reports.push(SnapshotReport {
-                t,
-                anchors,
-                followers,
-                base_core_size,
-                anchored_core_size: state.anchored_core_size(),
-                elapsed: start.elapsed(),
-                metrics: state.take_metrics(),
-            });
+        let mut anchors = Vec::with_capacity(params.l);
+        for _ in 0..params.l {
+            let candidates = state.candidates_unordered();
+            state.add_probed(candidates.len() as u64);
+            let Some((v, _gain)) = select_best(&mut state, &candidates, false) else {
+                break;
+            };
+            state.commit_anchor(v);
+            anchors.push(v);
         }
-        Ok(AvtResult::from_reports(reports))
+
+        let followers = state.committed_followers(&base_cores);
+        SnapshotReport {
+            t,
+            anchors,
+            followers,
+            base_core_size,
+            anchored_core_size: state.anchored_core_size(),
+            elapsed: start.elapsed(),
+            metrics: state.take_metrics(),
+        }
     }
 }
 

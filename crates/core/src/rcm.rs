@@ -25,6 +25,7 @@ use std::time::Instant;
 use avt_graph::{EvolvingGraph, GraphError, GraphView, VertexId};
 
 use crate::anchored::AnchoredCoreState;
+use crate::engine::{Engine, SnapshotSolver};
 use crate::greedy::select_best;
 use crate::params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
 
@@ -107,39 +108,45 @@ impl AvtAlgorithm for Rcm {
     }
 
     fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
-        let mut reports = Vec::with_capacity(evolving.num_snapshots());
+        Engine::default().run(self, evolving, params)
+    }
+}
+
+impl SnapshotSolver for Rcm {
+    fn solve_snapshot<G: GraphView>(
+        &self,
+        t: usize,
+        frame: &G,
+        params: AvtParams,
+    ) -> SnapshotReport {
+        let start = Instant::now();
         let budget = self.eval_budget(params.l);
-        for (t, frame) in evolving.frames() {
-            let start = Instant::now();
-            let mut state = AnchoredCoreState::new(&frame, params.k);
-            let base_cores = state.base_cores_snapshot();
-            let base_core_size = state.anchored_core_size();
+        let mut state = AnchoredCoreState::new(frame, params.k);
+        let base_cores = state.base_cores_snapshot();
+        let base_core_size = state.anchored_core_size();
 
-            let mut anchors = Vec::with_capacity(params.l);
-            for _ in 0..params.l {
-                let ranked = ranked_candidates(&mut state, params.k);
-                let shortlist: Vec<VertexId> =
-                    ranked.iter().take(budget).map(|&(v, _)| v).collect();
-                state.add_probed(shortlist.len() as u64);
-                let Some((v, _gain)) = select_best(&mut state, &shortlist, true) else {
-                    break;
-                };
-                state.commit_anchor(v);
-                anchors.push(v);
-            }
-
-            let followers = state.committed_followers(&base_cores);
-            reports.push(SnapshotReport {
-                t,
-                anchors,
-                followers,
-                base_core_size,
-                anchored_core_size: state.anchored_core_size(),
-                elapsed: start.elapsed(),
-                metrics: state.take_metrics(),
-            });
+        let mut anchors = Vec::with_capacity(params.l);
+        for _ in 0..params.l {
+            let ranked = ranked_candidates(&mut state, params.k);
+            let shortlist: Vec<VertexId> = ranked.iter().take(budget).map(|&(v, _)| v).collect();
+            state.add_probed(shortlist.len() as u64);
+            let Some((v, _gain)) = select_best(&mut state, &shortlist, true) else {
+                break;
+            };
+            state.commit_anchor(v);
+            anchors.push(v);
         }
-        Ok(AvtResult::from_reports(reports))
+
+        let followers = state.committed_followers(&base_cores);
+        SnapshotReport {
+            t,
+            anchors,
+            followers,
+            base_core_size,
+            anchored_core_size: state.anchored_core_size(),
+            elapsed: start.elapsed(),
+            metrics: state.take_metrics(),
+        }
     }
 }
 

@@ -4,8 +4,11 @@
 //! The paper evaluates on six SNAP datasets. This environment is offline,
 //! so [`registry`] provides synthetic stand-ins with the same node counts,
 //! edge counts and average degrees (Table 2) and degree distributions
-//! appropriate to each network type, built from the generic generators in
-//! this crate:
+//! appropriate to each network type. When the genuine SNAP downloads *are*
+//! on disk (under `$AVT_DATA_DIR`, default `./data` — see
+//! [`Dataset::load_or_generate`]), the registry loads them through
+//! [`loader`] instead and every experiment runs on real data. The synthetic
+//! stand-ins are built from the generic generators in this crate:
 //!
 //! * [`er`] — Erdős–Rényi `G(n, m)` (near-regular; the Gnutella P2P
 //!   overlay).
@@ -38,5 +41,5 @@ pub mod temporal;
 pub mod watts_strogatz;
 
 pub use churn::ChurnConfig;
-pub use registry::{Dataset, DatasetSpec};
+pub use registry::{data_dir, Dataset, DatasetSpec, DATA_DIR_ENV};
 pub use temporal::TemporalConfig;

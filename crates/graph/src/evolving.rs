@@ -6,6 +6,8 @@
 //! more importantly — would hide the deltas the incremental algorithm feeds
 //! on, so an [`EvolvingGraph`] is the initial snapshot plus `T-1` batches.
 
+use std::sync::Arc;
+
 use crate::{CsrGraph, EdgeBatch, Graph, GraphError, VertexId};
 
 /// An evolving graph: snapshot `G_1` plus the per-step churn.
@@ -123,6 +125,33 @@ impl EvolvingGraph {
         FrameIter { evolving: self, current: None, next_t: 1 }
     }
 
+    /// Like [`Self::frames`], but yields each frame behind an [`Arc`] so it
+    /// can outlive the iterator (and the thread that materialized it). This
+    /// is the substrate the pipelined execution engine consumes: a producer
+    /// walks this iterator in `t`-order — the frame chain is inherently
+    /// sequential, each frame derived from its predecessor via
+    /// [`CsrGraph::apply_batch`] — and hands the completed `Arc` frames to
+    /// worker threads that solve snapshots concurrently. Because
+    /// [`CsrGraph::apply_batch`] is functional (`&self -> CsrGraph`), the
+    /// walk needs *no* per-step deep clone at all, unlike [`Self::frames`]
+    /// which clones every non-final frame to keep deriving.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use avt_graph::{EdgeBatch, EvolvingGraph, Graph};
+    ///
+    /// let g1 = Graph::from_edges(3, [(0, 1)]).unwrap();
+    /// let mut eg = EvolvingGraph::new(g1);
+    /// eg.push_batch(EdgeBatch::from_pairs([(1, 2)], []));
+    /// let frames: Vec<_> = eg.frames_arc().collect();
+    /// assert_eq!(frames.len(), 2);
+    /// assert_eq!(frames[1].1.num_edges(), 2); // Arc<CsrGraph>
+    /// ```
+    pub fn frames_arc(&self) -> ArcFrameIter<'_> {
+        ArcFrameIter { evolving: self, current: None, next_t: 1 }
+    }
+
     /// Truncate to the first `t` snapshots (used by the `T`-sweep
     /// experiments). No-op if `t >= T`.
     pub fn truncated(&self, t: usize) -> EvolvingGraph {
@@ -217,6 +246,51 @@ impl<'a> Iterator for FrameIter<'a> {
 }
 
 impl<'a> ExactSizeIterator for FrameIter<'a> {}
+
+/// Iterator over `(t, Arc<CsrGraph>)` produced by
+/// [`EvolvingGraph::frames_arc`].
+///
+/// The iterator retains an `Arc` to the latest frame (to derive the next
+/// from), so yielding is a reference-count bump — no array clone ever, not
+/// even for intermediate frames.
+pub struct ArcFrameIter<'a> {
+    evolving: &'a EvolvingGraph,
+    current: Option<Arc<CsrGraph>>,
+    next_t: usize,
+}
+
+impl<'a> Iterator for ArcFrameIter<'a> {
+    type Item = (usize, Arc<CsrGraph>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let t = self.next_t;
+        if t > self.evolving.num_snapshots() {
+            return None;
+        }
+        let frame = match &self.current {
+            None => Arc::new(CsrGraph::from_graph(&self.evolving.initial)),
+            Some(prev) => {
+                let batch = self
+                    .evolving
+                    .batch(t - 1)
+                    .expect("batch t-1 exists because t <= num_snapshots");
+                Arc::new(
+                    prev.apply_batch(batch).expect("evolving graph batches must apply cleanly"),
+                )
+            }
+        };
+        self.current = Some(Arc::clone(&frame));
+        self.next_t += 1;
+        Some((t, frame))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.evolving.num_snapshots() + 1 - self.next_t;
+        (left, Some(left))
+    }
+}
+
+impl<'a> ExactSizeIterator for ArcFrameIter<'a> {}
 
 /// Convenience: the set of vertices touched by a batch (endpoints of all
 /// events), each reported exactly once, in ascending order. Candidate-
@@ -336,6 +410,31 @@ mod tests {
             assert_eq!(ft, st);
             assert!(f.to_graph().is_isomorphic_identity(&s));
         }
+    }
+
+    #[test]
+    fn frames_arc_matches_frames() {
+        let eg = sample();
+        let arcs: Vec<(usize, Arc<CsrGraph>)> = eg.frames_arc().collect();
+        assert_eq!(arcs.len(), 3);
+        for ((at, af), (ft, ff)) in arcs.iter().zip(eg.frames()) {
+            assert_eq!(*at, ft);
+            assert_eq!(**af, ff, "t={ft}");
+        }
+        // Frames outlive the iterator; a held Arc stays valid and sendable.
+        let (_, last) = eg.frames_arc().last().unwrap();
+        let handle = std::thread::spawn(move || last.num_edges());
+        assert_eq!(handle.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn frames_arc_is_exact_size() {
+        let eg = sample();
+        let mut it = eg.frames_arc();
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.count(), 2);
     }
 
     #[test]

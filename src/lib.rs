@@ -15,11 +15,14 @@
 //!   (order-based) core maintenance under edge insertions and deletions.
 //! * [`algo`] — the paper's contribution: anchored k-core machinery,
 //!   follower computation, the optimized **Greedy** algorithm, the
-//!   incremental **IncAVT** algorithm, and the **OLAK** / **RCM** /
-//!   brute-force baselines.
+//!   incremental **IncAVT** algorithm, the **OLAK** / **RCM** /
+//!   brute-force baselines, and the temporal execution [`algo::Engine`]
+//!   that replays every per-snapshot solver sequentially or pipelined
+//!   across a worker pool (`AVT_ENGINE_THREADS`).
 //! * [`datasets`] — synthetic stand-ins for the paper's six SNAP datasets
 //!   plus generic generators (Erdős–Rényi, Chung–Lu, Barabási–Albert,
-//!   churn and temporal-window evolution models).
+//!   churn and temporal-window evolution models); with the genuine SNAP
+//!   downloads under `$AVT_DATA_DIR` the registry loads real data instead.
 //!
 //! ## Quickstart
 //!
@@ -47,8 +50,8 @@ pub use avt_kcore as kcore;
 /// Commonly used items, glob-importable.
 pub mod prelude {
     pub use avt_core::{
-        AnchoredCoreState, AvtAlgorithm, AvtParams, AvtResult, BruteForce, Greedy, IncAvt, Metrics,
-        Olak, Rcm,
+        AnchoredCoreState, AvtAlgorithm, AvtParams, AvtResult, BruteForce, Engine, Greedy, IncAvt,
+        Metrics, Olak, Rcm, SnapshotSolver,
     };
     pub use avt_graph::{
         CsrGraph, Edge, EdgeBatch, EvolvingGraph, Graph, GraphStats, GraphView, VertexId,
