@@ -26,8 +26,8 @@ fn bench_maintenance(c: &mut Criterion) {
     group.bench_function("rebuild-per-snapshot", |b| {
         b.iter(|| {
             let mut total = 0usize;
-            for (_, graph) in eg.snapshots() {
-                let korder = KOrder::from_graph(&graph);
+            for (_, frame) in eg.frames() {
+                let korder = KOrder::from_graph(&frame);
                 total += korder.live_count(1);
             }
             total

@@ -7,19 +7,21 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use avt_bench::algorithms;
+use avt_bench::{algorithms, FrameMode, Instance};
 use avt_core::AvtParams;
 use avt_datasets::Dataset;
 
 fn bench_vary_k(c: &mut Criterion) {
     for (ds, scale) in [(Dataset::Deezer, 0.01), (Dataset::CollegeMsg, 0.2)] {
-        let eg = ds.generate(scale, 8, 42);
+        // Honours AVT_FRAME_SOURCE=mmap, like the experiment binary.
+        let inst =
+            Instance::prepare(FrameMode::from_env(), ds.generate(scale, 8, 42), "bench-fig3");
         let mut group = c.benchmark_group(format!("fig3/{}", ds.spec().name));
         group.sample_size(10);
         for &k in ds.k_sweep() {
             for algo in algorithms() {
                 group.bench_with_input(BenchmarkId::new(algo.name(), k), &k, |b, &k| {
-                    b.iter(|| algo.track(&eg, AvtParams::new(k, 5)).expect("tracking succeeds"))
+                    b.iter(|| algo.track(&inst, AvtParams::new(k, 5)).expect("tracking succeeds"))
                 });
             }
         }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use avt_bench::algorithms;
+use avt_bench::{algorithms, FrameMode, Instance};
 use avt_core::AvtParams;
 use avt_datasets::Dataset;
 
@@ -14,7 +14,7 @@ fn bench_vary_t(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5/email-Enron");
     group.sample_size(10);
     for t in [4usize, 8, 12] {
-        let truncated = full.truncated(t);
+        let truncated = Instance::prepare(FrameMode::from_env(), full.truncated(t), "bench-fig5");
         for algo in algorithms() {
             group.bench_with_input(BenchmarkId::new(algo.name(), t), &t, |b, _| {
                 b.iter(|| {

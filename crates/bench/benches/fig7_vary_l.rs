@@ -3,20 +3,20 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use avt_bench::algorithms;
+use avt_bench::{algorithms, FrameMode, Instance};
 use avt_core::AvtParams;
 use avt_datasets::Dataset;
 
 fn bench_vary_l(c: &mut Criterion) {
     let ds = Dataset::Gnutella;
-    let eg = ds.generate(0.01, 8, 42);
+    let inst = Instance::prepare(FrameMode::from_env(), ds.generate(0.01, 8, 42), "bench-fig7");
     let mut group = c.benchmark_group("fig7/Gnutella");
     group.sample_size(10);
     for l in [2usize, 5, 10] {
         for algo in algorithms() {
             group.bench_with_input(BenchmarkId::new(algo.name(), l), &l, |b, &l| {
                 b.iter(|| {
-                    algo.track(&eg, AvtParams::new(ds.default_k(), l)).expect("tracking succeeds")
+                    algo.track(&inst, AvtParams::new(ds.default_k(), l)).expect("tracking succeeds")
                 })
             });
         }

@@ -39,6 +39,12 @@ options:
   --threads N    engine workers per tracking run: 1 = sequential, 0 = one
                  per core (default: AVT_ENGINE_THREADS, else 1); results
                  are identical at any setting, only wall time moves
+  --frame-source {resident,mmap}
+                 where the engine's frames come from (default:
+                 AVT_FRAME_SOURCE, else resident). mmap spills each stream
+                 once to $AVT_DATA_DIR/cache/ as .csrbin files and replays
+                 zero-copy mapped frames; results are identical at either
+                 setting, only memory residency and wall time move
   --out DIR      CSV output directory      (default results/)
 
 Real data: place SNAP downloads under $AVT_DATA_DIR (default data/) and
@@ -74,6 +80,17 @@ fn parse_args() -> Result<Args, String> {
                 let threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
                 avt_core::engine::set_default_threads(threads);
             }
+            "--frame-source" => {
+                ctx.frame_source = match value()?.as_str() {
+                    "resident" => avt_bench::FrameMode::Resident,
+                    "mmap" => avt_bench::FrameMode::Mmap,
+                    other => {
+                        return Err(format!(
+                            "--frame-source: expected \"resident\" or \"mmap\", got {other:?}"
+                        ))
+                    }
+                };
+            }
             "--out" => out = PathBuf::from(value()?),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
@@ -102,13 +119,14 @@ fn main() -> ExitCode {
     let ctx = &args.ctx;
     let all = datasets();
     eprintln!(
-        "# running '{}' at scale {} (T = {}, l = {}, seed = {}, engine threads = {})",
+        "# running '{}' at scale {} (T = {}, l = {}, seed = {}, engine threads = {}, frames = {})",
         args.experiment,
         ctx.scale,
         ctx.snapshots,
         ctx.l,
         ctx.seed,
-        avt_core::engine::default_threads()
+        avt_core::engine::default_threads(),
+        ctx.frame_source
     );
 
     let run_one = |name: &str| -> bool {

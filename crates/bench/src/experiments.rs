@@ -2,12 +2,14 @@
 
 use std::time::Duration;
 
-use avt_core::{AvtAlgorithm, AvtParams, AvtResult};
+use avt_core::{AvtParams, AvtResult};
 use avt_datasets::Dataset;
-use avt_graph::{EvolvingGraph, GraphStats};
+use avt_graph::GraphStats;
 
 use crate::report::{secs, Table};
-use crate::{algorithms, brute_force_reference, calibrate_k, Context};
+use crate::{
+    algorithms, brute_force_reference, calibrate_k, engine_tracker, Context, Instance, Tracker,
+};
 
 /// The T values plotted on the x-axis of Figures 5/6/9 (2, 6, 10, ... 30),
 /// clamped to the configured snapshot count.
@@ -20,8 +22,8 @@ fn l_axis(l_default: usize) -> Vec<usize> {
     [5usize, 10, 15, 20].iter().map(|&x| (x * l_default).div_ceil(10).max(1)).collect()
 }
 
-fn run(algo: &dyn AvtAlgorithm, evolving: &EvolvingGraph, params: AvtParams) -> AvtResult {
-    algo.track(evolving, params).expect("experiment datasets are internally consistent")
+fn run(algo: &dyn Tracker, instance: &Instance, params: AvtParams) -> AvtResult {
+    algo.track(instance, params).expect("experiment datasets are internally consistent")
 }
 
 /// Table 2: statistics of the generated stand-ins next to the paper's
@@ -33,11 +35,12 @@ pub fn table2(ctx: &Context, datasets: &[Dataset]) -> Table {
     );
     for &ds in datasets {
         let spec = ds.spec();
-        let eg = crate::dataset_instance(ctx, ds);
+        let eg = ds.load_or_generate(ctx.scale, ctx.snapshots, ctx.seed);
         // Temporal stand-ins ramp up from a sparse first period exactly
         // like the real streams; their Table 2 density is reached at
         // steady state, so measure the final snapshot (one-shot access:
-        // a single `snapshot(T)` replay beats walking every frame).
+        // a single `snapshot(T)` replay beats walking every frame). No
+        // tracking happens here, so no Instance is prepared.
         let last = eg.snapshot(eg.num_snapshots()).expect("final snapshot exists");
         let stats = GraphStats::compute(&last);
         table.push_row(vec![
@@ -66,12 +69,12 @@ pub fn fig3_4(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         &["dataset", "k_paper", "k_eff", "algorithm", "visited", "probed"],
     );
     for &ds in datasets {
-        let eg = crate::dataset_instance(ctx, ds);
+        let inst = crate::dataset_instance(ctx, ds);
         for &k_paper in ds.k_sweep() {
-            let k = calibrate_k(&eg, k_paper);
+            let k = calibrate_k(&inst.evolving, k_paper);
             let params = AvtParams::new(k, ctx.l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &eg, params);
+                let result = run(algo.as_ref(), &inst, params);
                 let m = result.total_metrics();
                 time.push_row(vec![
                     ds.spec().name.into(),
@@ -110,10 +113,10 @@ pub fn fig5_6(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         &["dataset", "T", "algorithm", "visited"],
     );
     for &ds in datasets {
-        let eg = crate::dataset_instance(ctx, ds);
-        let params = AvtParams::new(calibrate_k(&eg, ds.default_k()), ctx.l);
+        let inst = crate::dataset_instance(ctx, ds);
+        let params = AvtParams::new(calibrate_k(&inst.evolving, ds.default_k()), ctx.l);
         for algo in algorithms() {
-            let result = run(algo.as_ref(), &eg, params);
+            let result = run(algo.as_ref(), &inst, params);
             let mut cum_time = Duration::ZERO;
             let mut cum_visited = 0u64;
             let mut axis = t_axis(ctx.snapshots).into_iter().peekable();
@@ -152,12 +155,12 @@ pub fn fig7_8(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         &["dataset", "l", "algorithm", "visited"],
     );
     for &ds in datasets {
-        let eg = crate::dataset_instance(ctx, ds);
-        let k = calibrate_k(&eg, ds.default_k());
+        let inst = crate::dataset_instance(ctx, ds);
+        let k = calibrate_k(&inst.evolving, ds.default_k());
         for l in l_axis(ctx.l) {
             let params = AvtParams::new(k, l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &eg, params);
+                let result = run(algo.as_ref(), &inst, params);
                 time.push_row(vec![
                     ds.spec().name.into(),
                     l.to_string(),
@@ -185,10 +188,10 @@ pub fn fig9(ctx: &Context, datasets: &[Dataset]) -> Table {
         &["dataset", "T", "algorithm", "followers"],
     );
     for &ds in datasets {
-        let eg = crate::dataset_instance(ctx, ds);
-        let params = AvtParams::new(calibrate_k(&eg, ds.default_k()), ctx.l);
+        let inst = crate::dataset_instance(ctx, ds);
+        let params = AvtParams::new(calibrate_k(&inst.evolving, ds.default_k()), ctx.l);
         for algo in algorithms() {
-            let result = run(algo.as_ref(), &eg, params);
+            let result = run(algo.as_ref(), &inst, params);
             let mut cum = 0usize;
             let mut axis = t_axis(ctx.snapshots).into_iter().peekable();
             for (i, &count) in result.follower_counts.iter().enumerate() {
@@ -215,12 +218,12 @@ pub fn fig10(ctx: &Context, datasets: &[Dataset]) -> Table {
         &["dataset", "l", "algorithm", "followers"],
     );
     for &ds in datasets {
-        let eg = crate::dataset_instance(ctx, ds);
-        let k = calibrate_k(&eg, ds.default_k());
+        let inst = crate::dataset_instance(ctx, ds);
+        let k = calibrate_k(&inst.evolving, ds.default_k());
         for l in l_axis(ctx.l) {
             let params = AvtParams::new(k, l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &eg, params);
+                let result = run(algo.as_ref(), &inst, params);
                 table.push_row(vec![
                     ds.spec().name.into(),
                     l.to_string(),
@@ -241,12 +244,12 @@ pub fn fig11(ctx: &Context, datasets: &[Dataset]) -> Table {
         &["dataset", "k", "algorithm", "followers"],
     );
     for &ds in datasets {
-        let eg = crate::dataset_instance(ctx, ds);
+        let inst = crate::dataset_instance(ctx, ds);
         for &k_paper in ds.k_sweep().iter().take(3) {
-            let k = calibrate_k(&eg, k_paper);
+            let k = calibrate_k(&inst.evolving, k_paper);
             let params = AvtParams::new(k, ctx.l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &eg, params);
+                let result = run(algo.as_ref(), &inst, params);
                 table.push_row(vec![
                     ds.spec().name.into(),
                     format!("{k_paper}/{k}"),
@@ -265,14 +268,17 @@ pub fn fig12(ctx: &Context) -> Table {
     let snapshots = ctx.snapshots.min(20);
     let eg = Dataset::EuCore.load_or_generate(ctx.scale, snapshots, ctx.seed);
     let params = AvtParams::new(crate::most_anchorable_k(&eg), 2);
+    let inst = crate::instance(ctx, eg, "eu-core-fig12");
     let mut table = Table::new(
         format!("Figure 12: followers vs brute force (eu-core stand-in, l=2, k={})", params.k),
         &["T", "algorithm", "followers"],
     );
-    let brute = brute_force_reference();
-    let mut runs: Vec<(String, AvtResult)> =
-        algorithms().iter().map(|a| (a.name().to_string(), run(a.as_ref(), &eg, params))).collect();
-    runs.push(("Brute-force".into(), run(&brute, &eg, params)));
+    let brute = engine_tracker(brute_force_reference());
+    let mut runs: Vec<(String, AvtResult)> = algorithms()
+        .iter()
+        .map(|a| (a.name().to_string(), run(a.as_ref(), &inst, params)))
+        .collect();
+    runs.push(("Brute-force".into(), run(brute.as_ref(), &inst, params)));
     for t in 1..=snapshots {
         for (name, result) in &runs {
             table.push_row(vec![
@@ -290,6 +296,7 @@ pub fn fig12(ctx: &Context) -> Table {
 pub fn table4(ctx: &Context) -> Table {
     let eg = Dataset::EuCore.load_or_generate(ctx.scale, 1, ctx.seed);
     let params = AvtParams::new(crate::most_anchorable_k(&eg), 2);
+    let inst = crate::instance(ctx, eg, "eu-core-table4");
     let mut table = Table::new(
         format!(
             "Table 4: selected anchored vertices and followers (eu-core stand-in, t=1, l=2, k={})",
@@ -297,11 +304,11 @@ pub fn table4(ctx: &Context) -> Table {
         ),
         &["algorithm", "anchors", "followers"],
     );
-    let brute = brute_force_reference();
+    let brute = engine_tracker(brute_force_reference());
     let mut entries: Vec<(String, AvtResult)> =
-        vec![("Brute-force".into(), run(&brute, &eg, params))];
+        vec![("Brute-force".into(), run(brute.as_ref(), &inst, params))];
     for algo in algorithms() {
-        entries.push((algo.name().to_string(), run(algo.as_ref(), &eg, params)));
+        entries.push((algo.name().to_string(), run(algo.as_ref(), &inst, params)));
     }
     for (name, result) in entries {
         let report = &result.reports[0];

@@ -1,27 +1,42 @@
 //! The temporal execution engine: one replay loop for every per-snapshot
-//! solver.
+//! solver, over any frame source.
 //!
 //! Every per-snapshot algorithm (Greedy, OLAK, RCM, brute force) used to
 //! hand-roll the same `for (t, frame) in evolving.frames()` control flow.
 //! The engine extracts that loop once, behind the [`SnapshotSolver`] trait,
-//! and gives it two interchangeable runners:
+//! and keeps both of its remaining axes swappable:
 //!
-//! * [`run_sequential`] — the original loop, bit-identical output;
-//! * [`run_pipelined`] — a producer thread materializes CSR frames in
-//!   `t`-order (each derived from the previous via
-//!   [`avt_graph::CsrGraph::apply_batch`], an inherently sequential chain)
-//!   and hands `Arc<CsrGraph>` frames to a [`std::thread::scope`] worker
-//!   pool that solves snapshots concurrently while the next frame is still
-//!   being merged.
+//! * **where frames come from** — any [`FrameSource`]: the resident
+//!   [`avt_graph::EvolvingGraph`] (each [`avt_graph::CsrGraph`] frame
+//!   derived from its predecessor in memory) or the zero-copy
+//!   [`avt_graph::MmapFrames`] (frames mapped straight off `.csrbin`
+//!   files). The engine never names a concrete substrate; solvers are
+//!   generic over [`GraphView`], so new sources need zero solver changes.
+//! * **how frames are driven** — [`run_sequential`] (one thread, original
+//!   behaviour bit for bit) or [`run_pipelined`] (a producer walks the
+//!   source in `t`-order feeding a bounded queue drained by a
+//!   [`std::thread::scope`] worker pool).
+//!
+//! # Streaming reports
+//!
+//! Neither runner buffers all `T` reports: each [`SnapshotReport`] is
+//! pushed into a [`ReportSink`] *in `t`-order as it becomes available*.
+//! The pipelined runner holds at most O(workers) out-of-order reports in a
+//! reorder window (workers finish out of order, the sink never sees that),
+//! so end-to-end resident memory stays O(threads · frame) — frames in the
+//! bounded queue, reports in the reorder window, nothing proportional to
+//! `T`. The convenience wrappers fold into an [`AvtResult`] (which records
+//! per-snapshot detail by design); pass your own sink to
+//! [`Engine::run_into`] to consume prefix aggregates in O(1) memory.
 //!
 //! # Determinism
 //!
-//! Each snapshot is solved in isolation from every other, reports are
-//! collected back in `t`-order, and [`AvtResult::from_reports`] aggregates
-//! by folding over that sorted sequence — so anchors, followers, and every
-//! efficiency counter of a pipelined run are identical to a sequential
-//! run's, whatever the thread count. Only the wall-clock fields
-//! (`elapsed`) vary run to run, exactly as they already did sequentially.
+//! Each snapshot is solved in isolation from every other and the sink sees
+//! reports in `t`-order — so anchors, followers, and every efficiency
+//! counter of a pipelined run are identical to a sequential run's,
+//! whatever the thread count and whatever the frame source. Only the
+//! wall-clock fields (`elapsed`) vary run to run, exactly as they already
+//! did sequentially.
 //!
 //! # Choosing a runner
 //!
@@ -34,10 +49,11 @@
 //! `G_t`, which is exactly the dependency the pipeline exploits the absence
 //! of.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, Once};
 
-use avt_graph::{EvolvingGraph, GraphError, GraphView};
+use avt_graph::{FrameSource, GraphError, GraphView};
 
 use crate::params::{AvtParams, AvtResult, SnapshotReport};
 
@@ -46,7 +62,8 @@ use crate::params::{AvtParams, AvtResult, SnapshotReport};
 /// Implementors solve the anchored-k-core problem on a single frame with no
 /// state carried between snapshots — that independence is what lets the
 /// engine fan snapshots out across threads. The frame is any
-/// [`GraphView`] substrate; the engine feeds immutable CSR frames.
+/// [`GraphView`] substrate; the engine feeds whatever its
+/// [`FrameSource`] yields (resident CSR frames, mmap'd frames, …).
 pub trait SnapshotSolver: Send + Sync {
     /// Solve snapshot `t` (1-based) on the frozen `frame`.
     fn solve_snapshot<G: GraphView>(
@@ -55,6 +72,33 @@ pub trait SnapshotSolver: Send + Sync {
         frame: &G,
         params: AvtParams,
     ) -> SnapshotReport;
+}
+
+/// A consumer of per-snapshot reports, fed strictly in `t`-order.
+///
+/// This is the streaming half of the engine: rather than buffering all `T`
+/// reports and handing them over at the end, the runners push each report
+/// as soon as it is available (and in order), so prefix consumers — the
+/// Figure 5/6-style cumulative series, online dashboards — can fold with
+/// O(1) extra memory.
+///
+/// [`AvtResult`] implements the trait by recording everything; any
+/// `FnMut(SnapshotReport)` closure implements it for ad-hoc folds.
+pub trait ReportSink {
+    /// Consume the report for the next snapshot in `t`-order.
+    fn push(&mut self, report: SnapshotReport);
+}
+
+impl ReportSink for AvtResult {
+    fn push(&mut self, report: SnapshotReport) {
+        self.push_report(report);
+    }
+}
+
+impl<F: FnMut(SnapshotReport)> ReportSink for F {
+    fn push(&mut self, report: SnapshotReport) {
+        self(report);
+    }
 }
 
 /// Sentinel for "no process-wide override installed".
@@ -85,9 +129,15 @@ pub fn default_threads() -> usize {
             Err(_) => {
                 // Loud fallback: silently going sequential would make a
                 // "pipelined CI pass" with a typo'd value test nothing.
-                eprintln!(
-                    "warning: AVT_ENGINE_THREADS={value:?} is not a number; running sequential"
-                );
+                // Once per process, though — `Engine::default()` is built
+                // per tracking run, and a sweep repeating the warning
+                // hundreds of times buries the signal it carries.
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: AVT_ENGINE_THREADS={value:?} is not a number; running sequential"
+                    );
+                });
                 1
             }
         },
@@ -106,7 +156,7 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// The temporal execution engine: replays an [`EvolvingGraph`] and solves
+/// The temporal execution engine: replays a [`FrameSource`] and solves
 /// every snapshot with one [`SnapshotSolver`], sequentially or pipelined.
 ///
 /// # Example
@@ -160,73 +210,156 @@ impl Engine {
         self.threads
     }
 
-    /// Replay `evolving` through `solver`, dispatching to
-    /// [`run_sequential`] or [`run_pipelined`] by the configured worker
-    /// count.
-    pub fn run<S: SnapshotSolver>(
+    /// Replay `source` through `solver`, collecting everything into an
+    /// [`AvtResult`]. Dispatches to [`run_sequential`] or [`run_pipelined`]
+    /// by the configured worker count.
+    pub fn run<S: SnapshotSolver, F: FrameSource>(
         &self,
         solver: &S,
-        evolving: &EvolvingGraph,
+        source: &F,
         params: AvtParams,
     ) -> Result<AvtResult, GraphError> {
+        let mut result = AvtResult::default();
+        self.run_into(solver, source, params, &mut result)?;
+        Ok(result)
+    }
+
+    /// Replay `source` through `solver`, streaming each report into `sink`
+    /// in `t`-order as it becomes available (see [`ReportSink`]).
+    pub fn run_into<S: SnapshotSolver, F: FrameSource, K: ReportSink>(
+        &self,
+        solver: &S,
+        source: &F,
+        params: AvtParams,
+        sink: &mut K,
+    ) -> Result<(), GraphError> {
         if self.threads > 1 {
-            run_pipelined(solver, evolving, params, self.threads)
+            run_pipelined_into(solver, source, params, self.threads, sink)
         } else {
-            run_sequential(solver, evolving, params)
+            run_sequential_into(solver, source, params, sink)
         }
     }
 }
 
 /// Solve every snapshot in order on the calling thread — the exact loop the
-/// per-solver `track` implementations used to hand-roll, on the
-/// zero-clone [`EvolvingGraph::frames_arc`] walk (plain
-/// [`EvolvingGraph::frames`] deep-clones every non-final frame to keep
-/// deriving; the `Arc` walk only bumps a refcount).
-pub fn run_sequential<S: SnapshotSolver>(
+/// per-solver `track` implementations used to hand-roll — collecting into
+/// an [`AvtResult`]. Works over any [`FrameSource`]; for the resident
+/// [`avt_graph::EvolvingGraph`] that is the zero-clone
+/// [`avt_graph::EvolvingGraph::frames_arc`] walk.
+pub fn run_sequential<S: SnapshotSolver, F: FrameSource>(
     solver: &S,
-    evolving: &EvolvingGraph,
+    source: &F,
     params: AvtParams,
 ) -> Result<AvtResult, GraphError> {
-    let mut reports = Vec::with_capacity(evolving.num_snapshots());
-    for (t, frame) in evolving.frames_arc() {
-        reports.push(solver.solve_snapshot(t, frame.as_ref(), params));
-    }
-    Ok(AvtResult::from_reports(reports))
+    let mut result = AvtResult::default();
+    run_sequential_into(solver, source, params, &mut result)?;
+    Ok(result)
 }
 
-/// Pipelined replay: one producer thread walks
-/// [`EvolvingGraph::frames_arc`] (frame `t+1` merged while frame `t` is
-/// being solved) feeding a bounded queue drained by `threads` workers;
-/// reports are collected back in `t`-order. `0` = one worker per core.
+/// The streaming form of [`run_sequential`]: each report goes straight
+/// from the solver into `sink`; nothing is buffered.
+pub fn run_sequential_into<S: SnapshotSolver, F: FrameSource, K: ReportSink>(
+    solver: &S,
+    source: &F,
+    params: AvtParams,
+    sink: &mut K,
+) -> Result<(), GraphError> {
+    for (t, frame) in source.iter_frames() {
+        sink.push(solver.solve_snapshot(t, frame.as_ref(), params));
+    }
+    Ok(())
+}
+
+/// Pipelined replay collecting into an [`AvtResult`]: one producer thread
+/// walks the source's frames in `t`-order (for an evolving graph, frame
+/// `t+1` is merged while frame `t` is being solved) feeding a bounded
+/// queue drained by `threads` workers. `0` = one worker per core.
 ///
 /// Identical output to [`run_sequential`] — see the module docs on
 /// determinism. Even `threads == 1` runs the real producer/worker pipeline
-/// (frame merging overlaps solving), so equivalence tests exercise the
+/// (frame production overlaps solving), so equivalence tests exercise the
 /// machinery rather than a shortcut.
-pub fn run_pipelined<S: SnapshotSolver>(
+pub fn run_pipelined<S: SnapshotSolver, F: FrameSource>(
     solver: &S,
-    evolving: &EvolvingGraph,
+    source: &F,
     params: AvtParams,
     threads: usize,
 ) -> Result<AvtResult, GraphError> {
+    let mut result = AvtResult::default();
+    run_pipelined_into(solver, source, params, threads, &mut result)?;
+    Ok(result)
+}
+
+/// The streaming form of [`run_pipelined`]: reports are re-ordered through
+/// a bounded window and pushed into `sink` in `t`-order *while workers are
+/// still solving* — the all-`T` buffer the engine used to accumulate is
+/// gone. The bound is enforced, not incidental: the producer holds a
+/// credit for every snapshot between production and *delivery to the
+/// sink*, with 4·threads credits total, so even when one slow snapshot
+/// blocks delivery the faster workers can run at most O(threads) reports
+/// ahead before the whole pipeline waits for it.
+pub fn run_pipelined_into<S: SnapshotSolver, F: FrameSource, K: ReportSink>(
+    solver: &S,
+    source: &F,
+    params: AvtParams,
+    threads: usize,
+    sink: &mut K,
+) -> Result<(), GraphError> {
     let threads = resolve_threads(threads);
-    let total = evolving.num_snapshots();
+    let total = source.num_frames();
     // Bounded frame queue: the producer stays at most ~2 frames per worker
     // ahead, so resident memory is O(threads · frame), not O(T · frame).
-    let (frame_tx, frame_rx) = mpsc::sync_channel::<(usize, Arc<avt_graph::CsrGraph>)>(2 * threads);
+    // Jobs carry a dense sequence number (assigned by arrival order) so the
+    // collector can restore `t`-order without assuming anything about the
+    // source's `t` values beyond their ordering.
+    let (frame_tx, frame_rx) = mpsc::sync_channel::<(usize, usize, Arc<F::Frame>)>(2 * threads);
+    // In-flight credits: one token per snapshot that has been produced but
+    // not yet delivered to the sink. Capacity 4·threads covers the frame
+    // queue (2t) plus the workers' hands (t) with slack, so the pipeline
+    // never throttles in the steady state — but a straggler snapshot can
+    // only ever leave O(threads) completed reports parked in the reorder
+    // window, never O(T).
+    let (credit_tx, credit_rx) = mpsc::sync_channel::<()>(4 * threads);
     // Each worker owns an Arc to the shared receiver: when the last worker
     // exits — normally or by unwinding — the receiver drops, the producer's
     // next send errors, and the scope can finish joining. A stack-owned
     // receiver would outlive panicking workers and deadlock the producer.
     let frame_rx = Arc::new(Mutex::new(frame_rx));
-    let (report_tx, report_rx) = mpsc::channel::<SnapshotReport>();
+    // `None` is a death notice: a worker unwound without finishing its
+    // snapshot. The collector must hear about it *eagerly* — a panicked
+    // snapshot never delivers, so its credit is never freed, and with the
+    // producer parked on a full credit channel the surviving workers would
+    // otherwise starve and the collector would wait on them forever.
+    let (report_tx, report_rx) = mpsc::channel::<Option<(usize, SnapshotReport)>>();
+    let mut delivered = 0usize;
+
+    /// Sends the death notice when a worker unwinds mid-snapshot.
+    struct DeathNotice(mpsc::Sender<Option<(usize, SnapshotReport)>>);
+    impl Drop for DeathNotice {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                let _ = self.0.send(None);
+            }
+        }
+    }
 
     std::thread::scope(|scope| {
+        // Move both receivers into the scope body: when the collector
+        // aborts on a death notice they must drop *before* the implicit
+        // join at the end of the scope — that is what errors out a
+        // producer parked on a full credit channel (and, transitively,
+        // unblocks workers waiting on the frame queue he feeds). Left in
+        // the enclosing function body they would outlive the join and the
+        // abort path would deadlock instead of re-raising the panic.
+        let report_rx = report_rx;
+        let credit_rx = credit_rx;
         scope.spawn(move || {
-            for (t, frame) in evolving.frames_arc() {
-                if frame_tx.send((t, frame)).is_err() {
-                    // All workers are gone (one panicked); stop producing —
-                    // the scope will re-raise their panic.
+            for (seq, (t, frame)) in source.iter_frames().enumerate() {
+                // Acquire the in-flight credit first; the collector frees
+                // one per delivered report.
+                if credit_tx.send(()).is_err() || frame_tx.send((seq, t, frame)).is_err() {
+                    // The collector has aborted (a worker panicked); stop
+                    // producing — the scope will re-raise the panic.
                     break;
                 }
             }
@@ -234,32 +367,54 @@ pub fn run_pipelined<S: SnapshotSolver>(
         for _ in 0..threads {
             let report_tx = report_tx.clone();
             let frame_rx = Arc::clone(&frame_rx);
-            scope.spawn(move || loop {
-                // Hold the lock only for the dequeue; solving runs
-                // unlocked so workers overlap.
-                let job = frame_rx.lock().expect("frame queue lock poisoned").recv();
-                let Ok((t, frame)) = job else { break };
-                let report = solver.solve_snapshot(t, frame.as_ref(), params);
-                if report_tx.send(report).is_err() {
-                    break;
+            scope.spawn(move || {
+                let _death = DeathNotice(report_tx.clone());
+                loop {
+                    // Hold the lock only for the dequeue; solving runs
+                    // unlocked so workers overlap.
+                    let job = frame_rx.lock().expect("frame queue lock poisoned").recv();
+                    let Ok((seq, t, frame)) = job else { break };
+                    let report = solver.solve_snapshot(t, frame.as_ref(), params);
+                    if report_tx.send(Some((seq, report))).is_err() {
+                        break;
+                    }
                 }
             });
         }
         drop(report_tx);
         drop(frame_rx);
+        // The calling thread doubles as the collector: drain reports as
+        // workers emit them, restore order through a window bounded by the
+        // in-flight credits, and stream into the sink. The loop ends when
+        // every worker has dropped its sender, or aborts on a death notice
+        // — finishing the scope body drops `credit_rx` and `report_rx`,
+        // which unblocks the producer and the surviving workers so the
+        // scope can join them and re-raise the panic.
+        let mut window: BTreeMap<usize, SnapshotReport> = BTreeMap::new();
+        let mut next_seq = 0usize;
+        for message in report_rx.iter() {
+            let Some((seq, report)) = message else { break };
+            window.insert(seq, report);
+            while let Some(report) = window.remove(&next_seq) {
+                sink.push(report);
+                // Free this snapshot's in-flight credit. Never blocks: a
+                // delivered report's credit was sent before its frame.
+                let _ = credit_rx.recv();
+                delivered += 1;
+                next_seq += 1;
+            }
+        }
     });
-
-    let mut reports: Vec<SnapshotReport> = report_rx.iter().collect();
-    assert_eq!(reports.len(), total, "every snapshot must produce exactly one report");
-    reports.sort_by_key(|r| r.t);
-    Ok(AvtResult::from_reports(reports))
+    // Reached only when no thread panicked (the scope re-raises first).
+    assert_eq!(delivered, total, "every snapshot must produce exactly one report");
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{AvtAlgorithm, BruteForce, Greedy, Olak, Rcm};
-    use avt_graph::{EdgeBatch, Graph};
+    use avt_graph::{EdgeBatch, EvolvingGraph, Graph, MmapFrames};
 
     fn churny() -> EvolvingGraph {
         let g1 = Graph::from_edges(
@@ -347,6 +502,78 @@ mod tests {
     }
 
     #[test]
+    fn mmap_source_matches_resident_source() {
+        // The engine is frame-source generic: the same solver over the same
+        // stream, resident vs spilled-and-mapped, must agree bit for bit.
+        let eg = churny();
+        let dir = std::env::temp_dir().join(format!(
+            "avt_engine_mmap_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let frames = MmapFrames::spill(&eg, &dir).unwrap();
+        let params = AvtParams::new(3, 2);
+        let solver = Greedy::default();
+        let resident = run_sequential(&solver, &eg, params).unwrap();
+        let mapped_seq = run_sequential(&solver, &frames, params).unwrap();
+        let mapped_par = run_pipelined(&solver, &frames, params, 3).unwrap();
+        assert_eq!(shape(&resident), shape(&mapped_seq));
+        assert_eq!(shape(&resident), shape(&mapped_par));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn streaming_sink_sees_reports_in_order_while_running() {
+        // The pipelined runner must deliver t = 1, 2, 3, … to the sink (no
+        // trailing sort), whatever order workers finish in.
+        let eg = churny();
+        let mut seen = Vec::new();
+        let mut sink = |report: SnapshotReport| seen.push(report.t);
+        run_pipelined_into(&Olak, &eg, AvtParams::new(3, 1), 4, &mut sink).unwrap();
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+
+        // And a fold-only consumer reproduces the collected aggregate
+        // without ever holding a report vector.
+        let collected = run_sequential(&Olak, &eg, AvtParams::new(3, 1)).unwrap();
+        let mut total = 0usize;
+        run_sequential_into(&Olak, &eg, AvtParams::new(3, 1), &mut |report: SnapshotReport| {
+            total += report.followers.len()
+        })
+        .unwrap();
+        assert_eq!(total, collected.total_followers());
+    }
+
+    #[test]
+    fn straggler_snapshot_backpressures_without_deadlock() {
+        // One slow snapshot at the front: the credit cap (4·threads) must
+        // throttle the fast workers instead of letting completed reports
+        // pile up O(T) deep — and the run must still complete, in order.
+        struct SlowFirst;
+        impl SnapshotSolver for SlowFirst {
+            fn solve_snapshot<G: avt_graph::GraphView>(
+                &self,
+                t: usize,
+                frame: &G,
+                params: AvtParams,
+            ) -> SnapshotReport {
+                if t == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                }
+                Olak.solve_snapshot(t, frame, params)
+            }
+        }
+        let mut eg = churny();
+        for _ in 0..20 {
+            eg.push_batch(EdgeBatch::new());
+        }
+        let total = eg.num_snapshots();
+        let mut seen = Vec::new();
+        let mut sink = |report: SnapshotReport| seen.push(report.t);
+        run_pipelined_into(&SlowFirst, &eg, AvtParams::new(3, 1), 2, &mut sink).unwrap();
+        assert_eq!(seen, (1..=total).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn worker_panic_propagates_instead_of_deadlocking() {
         // A solver that dies on one snapshot: the run must panic (scope
         // re-raises), not hang with the producer blocked on a full queue.
@@ -367,6 +594,19 @@ mod tests {
             let _ = run_pipelined(&Dies, &eg, AvtParams::new(3, 1), 1);
         });
         assert!(result.is_err(), "the worker panic must surface");
+
+        // The hard case: a stream much longer than the credit window with
+        // several workers. The panicked snapshot never frees its credit,
+        // so without the death notice the producer parks on a full credit
+        // channel and the run hangs instead of panicking.
+        let mut long = churny();
+        for _ in 0..40 {
+            long.push_batch(EdgeBatch::new());
+        }
+        let result = std::panic::catch_unwind(|| {
+            let _ = run_pipelined(&Dies, &long, AvtParams::new(3, 1), 2);
+        });
+        assert!(result.is_err(), "the worker panic must surface on long streams too");
     }
 
     #[test]

@@ -27,13 +27,17 @@
 //! * [`Engine`] — the temporal execution engine. Every per-snapshot solver
 //!   implements [`SnapshotSolver`] (solve one frozen frame, no state
 //!   across snapshots) and its `track` routes through the engine, which
-//!   owns the *only* replay loop: [`engine::run_sequential`] walks frozen
-//!   [`avt_graph::CsrGraph`] frames on one thread, while
-//!   [`engine::run_pipelined`] overlaps frame materialization with a
-//!   worker pool solving snapshots concurrently — identical output,
-//!   selected per process via `AVT_ENGINE_THREADS` or per call via
-//!   [`Engine::pipelined`]. [`IncAvt`] is the deliberate exception: it
-//!   carries K-order state between snapshots, so it keeps the mutable
+//!   owns the *only* replay loop — generic over any
+//!   [`avt_graph::FrameSource`] (resident [`avt_graph::EvolvingGraph`]
+//!   frames or zero-copy [`avt_graph::MmapFrames`]):
+//!   [`engine::run_sequential`] walks frozen frames on one thread, while
+//!   [`engine::run_pipelined`] overlaps frame production with a worker
+//!   pool solving snapshots concurrently — identical output, selected per
+//!   process via `AVT_ENGINE_THREADS` or per call via
+//!   [`Engine::pipelined`]. Both runners stream each [`SnapshotReport`]
+//!   into a [`ReportSink`] in `t`-order as it arrives, so nothing buffers
+//!   all `T` reports. [`IncAvt`] is the deliberate exception: it carries
+//!   K-order state between snapshots, so it keeps the mutable
 //!   [`avt_graph::Graph`] and its own sequential walk.
 
 #![warn(missing_docs)]
@@ -53,7 +57,7 @@ pub mod reduction;
 
 pub use anchored::AnchoredCoreState;
 pub use brute::BruteForce;
-pub use engine::{Engine, SnapshotSolver};
+pub use engine::{Engine, ReportSink, SnapshotSolver};
 pub use greedy::{Greedy, GreedyConfig};
 pub use incavt::IncAvt;
 pub use metrics::Metrics;

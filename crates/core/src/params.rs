@@ -58,11 +58,20 @@ pub struct AvtResult {
 impl AvtResult {
     /// Assemble the summary fields from per-snapshot reports.
     pub fn from_reports(reports: Vec<SnapshotReport>) -> Self {
-        AvtResult {
-            anchor_sets: reports.iter().map(|r| r.anchors.clone()).collect(),
-            follower_counts: reports.iter().map(|r| r.followers.len()).collect(),
-            reports,
+        let mut result = AvtResult::default();
+        for report in reports {
+            result.push_report(report);
         }
+        result
+    }
+
+    /// Fold one more snapshot's report into the summary fields. Reports
+    /// must arrive in `t`-order — this is the [`crate::engine::ReportSink`]
+    /// implementation the engine's streaming runners feed.
+    pub fn push_report(&mut self, report: SnapshotReport) {
+        self.anchor_sets.push(report.anchors.clone());
+        self.follower_counts.push(report.followers.len());
+        self.reports.push(report);
     }
 
     /// Total followers across all snapshots (the paper's effectiveness

@@ -12,13 +12,20 @@
 //!   [`load_temporal`] parses the stream and derives snapshots with the
 //!   window-expiry rule, exactly as [`crate::temporal`] does for synthetic
 //!   streams.
+//!
+//! Independently of where a stream came from, [`cached_frame_source`]
+//! spills its frames once into `$AVT_DATA_DIR/cache/` as `.csrbin` files
+//! and replays them on every later run as a zero-copy mmap-backed
+//! [`MmapFrames`] source, so full-size runs stop being bounded by resident
+//! memory. Repeat runs skip the batch-merge frame derivation (opening the
+//! cache is one validation pass per frame, no adjacency rebuilding).
 
 use std::fs::File;
 use std::io::BufReader;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use avt_graph::io::{densify_temporal, read_edge_list, read_temporal_edge_list};
-use avt_graph::{EvolvingGraph, GraphError};
+use avt_graph::{EvolvingGraph, FrameSource, GraphError, MmapFrames};
 
 use crate::churn::{evolve, ChurnConfig};
 use crate::temporal::snapshots_from_events;
@@ -66,6 +73,133 @@ pub fn load_temporal(
     }
     let horizon = events.last().map(|&(_, _, t)| t).unwrap_or(0).max(1);
     Ok(snapshots_from_events(n, &events, horizon, window, snapshots))
+}
+
+/// The directory frame caches are spilled into: `cache/` under
+/// [`crate::data_dir`] (so `$AVT_DATA_DIR` relocates both the raw
+/// downloads and their derived binary frames together).
+pub fn frame_cache_dir() -> PathBuf {
+    crate::data_dir().join("cache")
+}
+
+/// A cheap structural fingerprint of an evolving stream (FNV-1a over the
+/// initial adjacency and every batch), used to key frame caches so a cache
+/// can never be replayed against a *different* stream — a changed seed,
+/// scale, snapshot count, or a real download appearing under
+/// `$AVT_DATA_DIR` all change the fingerprint and therefore the cache
+/// directory.
+pub fn evolving_fingerprint(evolving: &EvolvingGraph) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u64| {
+        hash ^= x;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(evolving.num_vertices() as u64);
+    eat(evolving.num_snapshots() as u64);
+    for e in evolving.initial().edges() {
+        eat(((e.u as u64) << 32) | e.v as u64);
+    }
+    for batch in evolving.batches() {
+        eat(batch.insertions.len() as u64);
+        for e in batch.insertions.iter().chain(&batch.deletions) {
+            eat(((e.u as u64) << 32) | e.v as u64);
+        }
+    }
+    hash
+}
+
+/// Replay `evolving`'s frames from a `.csrbin` cache under `root`,
+/// spilling them first if `root/key` does not already hold a complete,
+/// matching cache. Returns the mmap-backed [`MmapFrames`] source; feed it
+/// to the execution engine in place of the resident graph.
+///
+/// The caller's `key` should identify the *stream*, not just the dataset —
+/// include [`evolving_fingerprint`] (or equivalent) so stale caches are
+/// re-spilled rather than replayed. A cache whose frame count disagrees
+/// with `evolving` is treated as stale.
+///
+/// Concurrent callers are safe: each spill goes into a uniquely-named
+/// sibling directory and is published with an atomic `rename`, so the
+/// cache directory only ever transitions empty → complete. Frame files
+/// are never rewritten in place — crucial, because a loser in the race
+/// may already have the winner's frames mapped, and truncating a mapped
+/// file is a `SIGBUS` waiting to happen. Unusable published directories
+/// (stale frame count, corruption, an interrupted unpublish) are removed
+/// and respilled, so the cache is self-healing; two attempts cover the
+/// narrow remove-vs-publish races, and a second consecutive failure is a
+/// real fault worth surfacing.
+pub fn cached_frames_in(
+    root: &Path,
+    key: &str,
+    evolving: &EvolvingGraph,
+) -> Result<MmapFrames, GraphError> {
+    let dir = root.join(key);
+    let matches = |frames: &MmapFrames| frames.num_frames() == evolving.num_snapshots();
+    let mut last_err = None;
+    for _attempt in 0..2 {
+        if let Ok(frames) = MmapFrames::open(&dir) {
+            if matches(&frames) {
+                return Ok(frames);
+            }
+        }
+        // Unusable (absent, stale, or corrupt): unpublish whatever is there
+        // so the rename below can land. Unlinking is safe even if another
+        // process still has the old frames mapped — inodes outlive names.
+        if dir.exists() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        // Spill into a unique staging sibling, then publish atomically.
+        static STAGE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let stage = root.join(format!(
+            ".stage-{key}-{}-{}",
+            std::process::id(),
+            STAGE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let staged = match MmapFrames::spill(evolving, &stage) {
+            Ok(staged) => staged,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&stage);
+                return Err(e);
+            }
+        };
+        match std::fs::rename(&stage, &dir) {
+            // The staged mappings survive the rename (they are inode-based),
+            // so hand them out directly instead of re-validating every frame.
+            Ok(()) => return Ok(staged.at_dir(dir.clone())),
+            Err(_) => {
+                // A concurrent caller published first; use their cache and
+                // discard ours.
+                drop(staged);
+                let result = MmapFrames::open(&dir);
+                let _ = std::fs::remove_dir_all(&stage);
+                match result {
+                    Ok(frames) if matches(&frames) => return Ok(frames),
+                    Ok(_) => {
+                        last_err = Some(GraphError::Parse {
+                            line: 0,
+                            message: format!(
+                                "{}: concurrently published cache has the wrong frame count",
+                                dir.display()
+                            ),
+                        });
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| GraphError::Parse {
+        line: 0,
+        message: format!("{}: frame cache unusable after retry", dir.display()),
+    }))
+}
+
+/// [`cached_frames_in`] rooted at the default [`frame_cache_dir`]
+/// (`$AVT_DATA_DIR/cache/`), with the fingerprint appended to the caller's
+/// key automatically.
+pub fn cached_frame_source(evolving: &EvolvingGraph, key: &str) -> Result<MmapFrames, GraphError> {
+    let keyed = format!("{key}-{:016x}", evolving_fingerprint(evolving));
+    cached_frames_in(&frame_cache_dir(), &keyed, evolving)
 }
 
 #[cfg(test)]
@@ -118,6 +252,103 @@ mod tests {
         let err = load_static(Path::new("/nonexistent/avt-data.txt"), ChurnConfig::default(), 0)
             .unwrap_err();
         assert!(err.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn frame_cache_spills_once_and_replays() {
+        let eg = crate::Dataset::Deezer.generate(0.005, 4, 11);
+        let root = std::env::temp_dir().join(format!("avt_loader_cache_{}", std::process::id()));
+        let key = format!("deezer-{:016x}", evolving_fingerprint(&eg));
+
+        let first = cached_frames_in(&root, &key, &eg).unwrap();
+        assert_eq!(first.num_frames(), 4);
+        let spilled_at = std::fs::metadata(root.join(&key).join("MANIFEST")).unwrap().modified();
+
+        // Second call replays the existing cache without re-spilling.
+        let second = cached_frames_in(&root, &key, &eg).unwrap();
+        assert_eq!(second.num_frames(), 4);
+        let replayed_at = std::fs::metadata(root.join(&key).join("MANIFEST")).unwrap().modified();
+        assert_eq!(spilled_at.unwrap(), replayed_at.unwrap(), "cache was re-spilled");
+
+        // The mapped frames agree with the resident walk, query for query.
+        for ((mt, mapped), (rt, resident)) in second.iter_frames().zip(eg.frames_arc()) {
+            assert_eq!(mt, rt);
+            assert_eq!(mapped.num_edges(), resident.num_edges(), "t={rt}");
+        }
+
+        // A different stream under the same key (wrong frame count) is
+        // treated as stale and re-spilled.
+        let longer = crate::Dataset::Deezer.generate(0.005, 6, 11);
+        let refreshed = cached_frames_in(&root, &key, &longer).unwrap();
+        assert_eq!(refreshed.num_frames(), 6);
+
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_published_cache_self_heals() {
+        // A crash can leave the published directory unusable (here: a
+        // truncated frame file). The next call must respill instead of
+        // failing forever on "cannot publish over the corpse".
+        let eg = crate::Dataset::Deezer.generate(0.005, 3, 31);
+        let root = std::env::temp_dir().join(format!("avt_loader_heal_{}", std::process::id()));
+        let key = "heal-test";
+        drop(cached_frames_in(&root, key, &eg).unwrap());
+
+        let victim = root.join(key).join("frame-000002.csrbin");
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(MmapFrames::open(&root.join(key)).is_err(), "corruption took");
+
+        let healed = cached_frames_in(&root, key, &eg).expect("self-heals");
+        assert_eq!(healed.num_frames(), 3);
+        assert_eq!(healed.dir(), root.join(key));
+        // And the published directory is fully repaired for later opens.
+        assert!(MmapFrames::open(&root.join(key)).is_ok());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn concurrent_cache_fills_are_safe() {
+        // Many threads race cached_frames_in on the same key (the CI mmap
+        // test pass does exactly this via parallel harness tests): exactly
+        // one spill must win, every caller must get a usable source, and
+        // queries through already-mapped frames must keep working while
+        // losers clean up their staging directories.
+        let eg = crate::Dataset::Deezer.generate(0.005, 3, 21);
+        let root = std::env::temp_dir().join(format!("avt_loader_race_{}", std::process::id()));
+        let key = "race-test";
+        let total: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let frames = cached_frames_in(&root, key, &eg).expect("race-safe");
+                        // Touch every frame after the race settles.
+                        frames.iter_frames().map(|(_, f)| f.num_edges()).sum::<usize>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        assert!(total.windows(2).all(|w| w[0] == w[1]), "all callers saw the same frames");
+        // No staging leftovers, just the published cache.
+        let entries: Vec<_> = std::fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec![key.to_string()], "leftovers: {entries:?}");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn fingerprint_separates_streams() {
+        let a = crate::Dataset::Deezer.generate(0.005, 3, 1);
+        let a2 = crate::Dataset::Deezer.generate(0.005, 3, 1);
+        let b = crate::Dataset::Deezer.generate(0.005, 3, 2);
+        let c = crate::Dataset::Deezer.generate(0.005, 4, 1);
+        assert_eq!(evolving_fingerprint(&a), evolving_fingerprint(&a2));
+        assert_ne!(evolving_fingerprint(&a), evolving_fingerprint(&b));
+        assert_ne!(evolving_fingerprint(&a), evolving_fingerprint(&c));
     }
 
     #[test]

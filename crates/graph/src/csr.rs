@@ -271,6 +271,20 @@ impl CsrGraph {
     pub fn max_degree(&self) -> usize {
         self.offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
     }
+
+    /// The raw offset array: `n + 1` entries, `offsets[n] == 2m`. Together
+    /// with [`Self::targets`] this *is* the whole structure — the pair is
+    /// what [`crate::io::write_csrbin`] serializes and what
+    /// [`crate::MmapCsr`] reads back without deserializing.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour array (`2m` entries, each per-vertex
+    /// slice sorted ascending). See [`Self::offsets`].
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
 }
 
 impl GraphView for CsrGraph {

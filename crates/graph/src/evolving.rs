@@ -81,8 +81,7 @@ impl EvolvingGraph {
     /// Materialize a *single* snapshot `G_t` (`t` 1-based) by replaying all
     /// batches from `G_1`. O(m + total churn up to t) — calling this in a
     /// loop over `t` is quadratic; iterate [`Self::frames`] (immutable CSR
-    /// frames) or [`Self::snapshots`] (mutable graphs) instead, which
-    /// materialize each snapshot once, incrementally.
+    /// frames, each materialized once, incrementally) instead.
     pub fn snapshot(&self, t: usize) -> Result<Graph, GraphError> {
         if t == 0 || t > self.num_snapshots() {
             return Err(GraphError::Parse {
@@ -95,12 +94,6 @@ impl EvolvingGraph {
             g.apply_batch(batch)?;
         }
         Ok(g)
-    }
-
-    /// Iterate over snapshots `G_1..G_T`, materializing incrementally (each
-    /// step costs only the batch size, not O(m)).
-    pub fn snapshots(&self) -> SnapshotIter<'_> {
-        SnapshotIter { evolving: self, current: None, next_t: 1 }
     }
 
     /// Iterate over snapshots `G_1..G_T` as immutable [`CsrGraph`] frames,
@@ -168,38 +161,6 @@ impl EvolvingGraph {
     /// snapshot. O(total churn).
     pub fn validate(&self) -> Result<Graph, GraphError> {
         self.snapshot(self.num_snapshots())
-    }
-}
-
-/// Iterator over `(t, G_t)` produced by [`EvolvingGraph::snapshots`].
-pub struct SnapshotIter<'a> {
-    evolving: &'a EvolvingGraph,
-    current: Option<Graph>,
-    next_t: usize,
-}
-
-impl<'a> Iterator for SnapshotIter<'a> {
-    type Item = (usize, Graph);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let t = self.next_t;
-        if t > self.evolving.num_snapshots() {
-            return None;
-        }
-        let g = match self.current.take() {
-            None => self.evolving.initial.clone(),
-            Some(mut g) => {
-                let batch = self
-                    .evolving
-                    .batch(t - 1)
-                    .expect("batch t-1 exists because t <= num_snapshots");
-                g.apply_batch(batch).expect("evolving graph batches must apply cleanly");
-                g
-            }
-        };
-        self.current = Some(g.clone());
-        self.next_t += 1;
-        Some((t, g))
     }
 }
 
@@ -346,14 +307,10 @@ mod tests {
     }
 
     #[test]
-    fn snapshots_iterator_matches_materialization() {
+    fn frames_iterator_matches_materialization() {
         let eg = sample();
-        let via_iter: Vec<(usize, usize)> =
-            eg.snapshots().map(|(t, g)| (t, g.num_edges())).collect();
+        let via_iter: Vec<(usize, usize)> = eg.frames().map(|(t, f)| (t, f.num_edges())).collect();
         assert_eq!(via_iter, vec![(1, 3), (2, 4), (3, 4)]);
-        for (t, g) in eg.snapshots() {
-            assert!(g.is_isomorphic_identity(&eg.snapshot(t).unwrap()));
-        }
     }
 
     #[test]
@@ -404,11 +361,6 @@ mod tests {
             let reference = eg.snapshot(*t).unwrap();
             assert_eq!(frame.num_edges(), reference.num_edges(), "t={t}");
             assert!(frame.to_graph().is_isomorphic_identity(&reference), "t={t}");
-        }
-        // Frames and mutable snapshots walk the same sequence.
-        for ((ft, f), (st, s)) in eg.frames().zip(eg.snapshots()) {
-            assert_eq!(ft, st);
-            assert!(f.to_graph().is_isomorphic_identity(&s));
         }
     }
 

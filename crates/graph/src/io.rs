@@ -1,6 +1,8 @@
-//! SNAP-style edge-list parsing and writing.
+//! SNAP-style edge-list parsing and writing, plus the binary `.csrbin`
+//! snapshot format.
 //!
-//! Two formats are supported, matching the datasets in the paper's §6.1:
+//! Two text formats are supported, matching the datasets in the paper's
+//! §6.1:
 //!
 //! * **static**: one `u v` pair per line (email-Enron, Gnutella, Deezer);
 //! * **temporal**: one `u v timestamp` triple per line (eu-core,
@@ -10,12 +12,89 @@
 //! any ASCII whitespace. Parsing is tolerant of duplicate edges and
 //! self-loops (they are dropped, with counts reported via
 //! [`crate::builder::BuiltGraph`]).
+//!
+//! # The `.csrbin` format
+//!
+//! A [`CsrGraph`] is two flat arrays, so its on-disk form is simply those
+//! arrays behind a fixed header — no compression, no framing — laid out so
+//! that a page-aligned mapping of the file can be *used in place* as a
+//! graph ([`crate::MmapCsr`]). All integers are **little-endian**; the
+//! format is not host-endian (a big-endian writer/reader would have to
+//! byte-swap, and [`crate::MmapCsr::open`] refuses big-endian hosts rather
+//! than silently mis-reading).
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0  | 4 | magic `b"CSRB"` |
+//! | 4  | 4 | format version, u32 LE (currently [`CSRBIN_VERSION`] = 1) |
+//! | 8  | 8 | `n` — vertex count, u64 LE |
+//! | 16 | 8 | `m` — edge count, u64 LE |
+//! | 24 | `8·(n+1)` | `offsets` — u64 LE each; `offsets[n] == 2m` |
+//! | `24 + 8·(n+1)` | `4·2m` | `targets` — u32 LE vertex ids, each per-vertex slice sorted ascending |
+//!
+//! The header is 24 bytes, so the `offsets` array begins 8-byte aligned
+//! and the `targets` array (at `24 + 8·(n+1)`) begins 4-byte aligned in
+//! any page-aligned mapping. The file length is exactly
+//! `24 + 8·(n+1) + 8·m`; any mismatch is rejected on open. Future layout
+//! changes bump [`CSRBIN_VERSION`]; readers reject versions they do not
+//! know.
 
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 use crate::builder::BuiltGraph;
+use crate::csr::CsrGraph;
 use crate::graph::Graph;
 use crate::{GraphBuilder, GraphError, VertexId};
+
+/// Magic bytes opening every `.csrbin` file.
+pub const CSRBIN_MAGIC: [u8; 4] = *b"CSRB";
+
+/// Current `.csrbin` format version.
+pub const CSRBIN_VERSION: u32 = 1;
+
+/// Byte length of the fixed `.csrbin` header (magic + version + n + m).
+pub const CSRBIN_HEADER_BYTES: usize = 24;
+
+/// Serialize a frozen CSR frame in the `.csrbin` format (see the module
+/// docs for the exact layout). The output is what [`crate::MmapCsr::open`]
+/// maps zero-copy.
+pub fn write_csrbin<W: Write>(csr: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(&CSRBIN_MAGIC)?;
+    writer.write_all(&CSRBIN_VERSION.to_le_bytes())?;
+    writer.write_all(&(csr.num_vertices() as u64).to_le_bytes())?;
+    writer.write_all(&(csr.num_edges() as u64).to_le_bytes())?;
+    // Buffer the arrays in chunks so unbuffered writers still see a few
+    // large writes rather than one syscall per integer.
+    let mut buf = Vec::with_capacity(1 << 16);
+    for &offset in csr.offsets() {
+        buf.extend_from_slice(&(offset as u64).to_le_bytes());
+        if buf.len() >= (1 << 16) - 8 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    for &target in csr.targets() {
+        buf.extend_from_slice(&target.to_le_bytes());
+        if buf.len() >= (1 << 16) - 8 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)
+}
+
+/// Write a `.csrbin` file at `path` (created or truncated).
+pub fn write_csrbin_file(csr: &CsrGraph, path: &Path) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path).map_err(|e| GraphError::Parse {
+        line: 0,
+        message: format!("cannot create {}: {e}", path.display()),
+    })?;
+    write_csrbin(csr, std::io::BufWriter::new(file)).map_err(|e| GraphError::Parse {
+        line: 0,
+        message: format!("cannot write {}: {e}", path.display()),
+    })
+}
 
 /// A timestamped interaction `(u, v, t)` from a temporal edge list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -22,19 +22,29 @@
 //!   probes binary-search. Evolution is functional:
 //!   [`CsrGraph::apply_batch`] merges out the next frame in O(n + m +
 //!   churn log churn).
+//! * [`MmapCsr`] — the *zero-copy* substrate: the same CSR arrays read in
+//!   place from a memory-mapped `.csrbin` file ([`io`] documents the
+//!   format), so full-size frozen frames are scanned straight off the page
+//!   cache without ever being rebuilt in heap memory.
 //! * [`EdgeBatch`] / [`EvolvingGraph`] — the `E+`/`E-` delta model used by
 //!   the paper: an evolving network is an initial snapshot plus a sequence
 //!   of edge insertions and deletions. [`EvolvingGraph::frames`] walks the
 //!   snapshot sequence as CSR frames, each materialized exactly once.
-//! * [`io`] — SNAP-style whitespace edge-list parsing and writing, including
-//!   the timestamped variant used by the temporal datasets.
+//! * [`source`] — the [`FrameSource`] abstraction the execution engine
+//!   consumes: anything yielding `(t, Arc<frame>)` in `t`-order.
+//!   [`EvolvingGraph`] is the resident source; [`MmapFrames`] replays a
+//!   spilled directory of `.csrbin` frames as mapped views.
+//! * [`io`] — SNAP-style whitespace edge-list parsing and writing (plus the
+//!   timestamped variant used by the temporal datasets), and the binary
+//!   `.csrbin` snapshot writer.
 //! * [`stats`] — the dataset statistics reported in Table 2 of the paper,
-//!   computable on either substrate.
+//!   computable on any substrate.
 //!
-//! The two-substrate split mirrors how the AVT algorithms actually touch
+//! The substrate split mirrors how the AVT algorithms actually touch
 //! graphs: per-snapshot solvers (Greedy, OLAK, RCM, brute force) only read
-//! a frozen `G_t` and get the CSR layout; the incremental IncAVT maintains
-//! one mutable graph across snapshots and keeps the adjacency-list layout.
+//! a frozen `G_t` and get a CSR layout (resident or mapped); the
+//! incremental IncAVT maintains one mutable graph across snapshots and
+//! keeps the adjacency-list layout.
 
 #![warn(missing_docs)]
 
@@ -45,6 +55,8 @@ pub mod error;
 pub mod evolving;
 pub mod graph;
 pub mod io;
+pub mod mmap;
+pub mod source;
 pub mod stats;
 pub mod view;
 
@@ -52,8 +64,10 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use edge::{Edge, EdgeBatch};
 pub use error::GraphError;
-pub use evolving::{EvolvingGraph, FrameIter, SnapshotIter};
+pub use evolving::{EvolvingGraph, FrameIter};
 pub use graph::Graph;
+pub use mmap::MmapCsr;
+pub use source::{FrameSource, MmapFrames};
 pub use stats::GraphStats;
 pub use view::GraphView;
 

@@ -6,11 +6,13 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`graph`] — the two-substrate graph layer: the [`graph::GraphView`]
+//! * [`graph`] — the graph substrate layer: the [`graph::GraphView`]
 //!   trait, the mutable adjacency-list [`graph::Graph`], the immutable CSR
-//!   [`graph::CsrGraph`] for frozen snapshots, edge batches, and evolving
-//!   graphs with the incremental [`graph::EvolvingGraph::frames`] snapshot
-//!   pipeline.
+//!   [`graph::CsrGraph`] for frozen snapshots, the zero-copy
+//!   [`graph::MmapCsr`] mapped straight off `.csrbin` files, edge batches,
+//!   evolving graphs with the incremental
+//!   [`graph::EvolvingGraph::frames`] snapshot pipeline, and the
+//!   [`graph::FrameSource`] abstraction the execution engine replays.
 //! * [`kcore`] — k-core decomposition, the K-order index, and incremental
 //!   (order-based) core maintenance under edge insertions and deletions.
 //! * [`algo`] — the paper's contribution: anchored k-core machinery,
@@ -54,7 +56,8 @@ pub mod prelude {
         Metrics, Olak, Rcm, SnapshotSolver,
     };
     pub use avt_graph::{
-        CsrGraph, Edge, EdgeBatch, EvolvingGraph, Graph, GraphStats, GraphView, VertexId,
+        CsrGraph, Edge, EdgeBatch, EvolvingGraph, FrameSource, Graph, GraphStats, GraphView,
+        MmapCsr, MmapFrames, VertexId,
     };
     pub use avt_kcore::{CoreDecomposition, KOrder};
 }

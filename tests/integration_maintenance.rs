@@ -3,19 +3,20 @@
 //! scratch recomputation at every snapshot.
 
 use avt::datasets::Dataset;
+use avt::graph::GraphView;
 use avt::kcore::{CoreDecomposition, MaintainedCore};
 use avt_kcore::verify::assert_korder_valid;
 
 fn run_dataset(ds: Dataset, scale: f64, snapshots: usize, seed: u64) {
     let eg = ds.generate(scale, snapshots, seed);
     let mut mc = MaintainedCore::new(eg.initial().clone());
-    for (t, graph) in eg.snapshots() {
+    for (t, frame) in eg.frames() {
         if t > 1 {
             let batch = eg.batch(t - 1).expect("batch exists");
             mc.apply_batch(batch).expect("batch applies");
         }
-        let fresh = CoreDecomposition::compute(&graph);
-        for v in graph.vertices() {
+        let fresh = CoreDecomposition::compute(&frame);
+        for v in frame.vertices() {
             assert_eq!(
                 mc.core(v),
                 fresh.core(v),

@@ -1,15 +1,24 @@
 //! Property tests for the temporal execution engine: `run_pipelined` must
 //! be observationally identical to `run_sequential` — same anchors, same
 //! followers, same aggregated efficiency counters — at any worker count,
-//! on ER, BA, and churned evolving instances.
+//! on ER, BA, and churned evolving instances; and runs over the zero-copy
+//! mmap frame source must be bit-identical to resident-frame runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use avt::algo::engine::{run_pipelined, run_sequential, SnapshotSolver};
 use avt::algo::{AvtParams, Greedy, Metrics, Olak, Rcm};
 use avt::datasets::ba::barabasi_albert;
 use avt::datasets::churn::{evolve, ChurnConfig};
 use avt::datasets::er::gnm;
-use avt::graph::{EvolvingGraph, Graph, VertexId};
+use avt::graph::{EvolvingGraph, Graph, MmapFrames, VertexId};
 use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("avt_prop_engine_{}_{tag}_{seq}", std::process::id()))
+}
 
 /// Evolve a base graph with a small churn model so the instance has real
 /// insertions *and* deletions across a handful of snapshots.
@@ -54,6 +63,28 @@ fn assert_engine_equivalence<S: SnapshotSolver>(solver: &S, eg: &EvolvingGraph, 
     }
 }
 
+/// Spill `eg` to a temp `.csrbin` directory and check that every solver's
+/// run over the mapped frames is bit-identical (anchors, followers, core
+/// sizes, counters) to its run over resident frames — sequentially and
+/// pipelined.
+fn assert_mmap_equivalence(eg: &EvolvingGraph, params: AvtParams, tag: &str) {
+    let dir = temp_dir(tag);
+    let frames = MmapFrames::spill(eg, &dir).expect("spill to tmpdir succeeds");
+    macro_rules! check {
+        ($solver:expr) => {
+            let resident = run_sequential(&$solver, eg, params).unwrap();
+            let mapped = run_sequential(&$solver, &frames, params).unwrap();
+            assert_eq!(shape(&resident), shape(&mapped), "sequential mmap diverged");
+            let mapped_par = run_pipelined(&$solver, &frames, params, 3).unwrap();
+            assert_eq!(shape(&resident), shape(&mapped_par), "pipelined mmap diverged");
+        };
+    }
+    check!(Greedy::default());
+    check!(Olak);
+    check!(Rcm::default());
+    std::fs::remove_dir_all(dir).expect("cleanup");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -91,5 +122,32 @@ proptest! {
     ) {
         let eg = churned(gnm(n, 3 * n, seed), 3, seed ^ 0x0bad);
         assert_engine_equivalence(&Rcm::default(), &eg, AvtParams::new(k, l));
+    }
+
+    /// ER base + churn: mmap'd frames reproduce resident frames bit for
+    /// bit for Greedy, OLAK, and RCM.
+    #[test]
+    fn mmap_source_matches_resident_er(
+        n in 12usize..36,
+        m_factor in 1usize..4,
+        seed in 0u64..500,
+        snapshots in 2usize..5,
+    ) {
+        let eg = churned(gnm(n, m_factor * n, seed), snapshots, seed ^ 0x77aa);
+        assert_mmap_equivalence(&eg, AvtParams::new(3, 2), "er");
+    }
+
+    /// BA base + churn: same equivalence on hub-heavy instances, varying
+    /// k and l.
+    #[test]
+    fn mmap_source_matches_resident_ba(
+        n in 12usize..32,
+        m_per in 2usize..4,
+        seed in 0u64..500,
+        k in 2u32..4,
+        l in 1usize..4,
+    ) {
+        let eg = churned(barabasi_albert(n, m_per, seed), 3, seed ^ 0xc0de);
+        assert_mmap_equivalence(&eg, AvtParams::new(k, l), "ba");
     }
 }
