@@ -1,0 +1,329 @@
+//! `loadgen`: concurrent TCP load generator for `avt-serve`.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7171] [--clients 4] [--requests 200]
+//!         [--seed 42] [--quick] [--shutdown]
+//! ```
+//!
+//! Drives `--clients` concurrent connections, each issuing `--requests`
+//! queries drawn from a deterministic mix (core lookups, spectra, follower
+//! and anchored-core queries, Greedy-vs-OLAK best-anchor solves), and
+//! reports aggregate QPS plus client-observed latency percentiles. The
+//! degree threshold `k` is calibrated from the server's own `SPECTRUM`
+//! reply, so the mix stays meaningful at any dataset scale.
+//!
+//! `--quick` is the CI smoke setting (2 clients × 40 requests);
+//! `--shutdown` sends `SHUTDOWN` after the run so a scripted
+//! `avt-serve … & loadgen --quick --shutdown; wait` tears the server down
+//! cleanly. Connection attempts retry for a few seconds, so the generator
+//! can be launched in parallel with the server.
+//!
+//! Exit status: 0 when every client completed with > 0 successful queries
+//! and zero protocol errors; 1 otherwise.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use avt_serve::protocol::{BestAlgo, Request, Response};
+use avt_serve::stats::percentile_of;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const USAGE: &str = "\
+usage: loadgen [options]
+
+options:
+  --addr HOST:PORT  server address               (default 127.0.0.1:7171)
+  --clients N       concurrent connections       (default 4)
+  --requests R      queries per client           (default 200)
+  --seed N          request-mix seed             (default 42)
+  --quick           CI smoke: 2 clients x 40 requests (explicit flags
+                    override it, in any order)
+  --shutdown        send SHUTDOWN to the server after the run
+";
+
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let quick = raw.iter().any(|a| a == "--quick");
+    let shutdown = raw.iter().any(|a| a == "--shutdown");
+    let mut args = Args {
+        addr: "127.0.0.1:7171".into(),
+        clients: if quick { 2 } else { 4 },
+        requests: if quick { 40 } else { 200 },
+        seed: 42,
+        shutdown,
+    };
+    let mut it = raw.iter().filter(|a| *a != "--quick" && *a != "--shutdown");
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.into());
+        }
+        let value = it.next().ok_or_else(|| format!("missing value for {flag}\n{USAGE}"))?;
+        match flag.as_str() {
+            "--addr" => args.addr = value.clone(),
+            "--clients" => args.clients = value.parse().map_err(|e| format!("--clients: {e}"))?,
+            "--requests" => {
+                args.requests = value.parse().map_err(|e| format!("--requests: {e}"))?
+            }
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    if args.clients == 0 || args.requests == 0 {
+        return Err("--clients and --requests must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// One protocol connection: write a request line, read a response line.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect with retries — the server may still be binding when a
+    /// scripted run launches both sides together.
+    fn connect(addr: &str, patience: Duration) -> Result<Client, String> {
+        let deadline = Instant::now() + patience;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    // Never block forever on a stalled server: a reply
+                    // that takes longer than this is a failed request,
+                    // not a reason to hang the harness (or CI).
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .map_err(|e| format!("set read timeout: {e}"))?;
+                    let writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+                    return Ok(Client { reader: BufReader::new(stream), writer });
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, String> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => Response::parse(&reply),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+
+    fn send_raw(&mut self, verb: &str) -> Result<String, String> {
+        self.writer.write_all(format!("{verb}\n").as_bytes()).map_err(|e| format!("write: {e}"))?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).map_err(|e| format!("read: {e}"))?;
+        Ok(reply.trim_end().to_string())
+    }
+}
+
+/// Pick the degree threshold the expensive queries run at: the largest
+/// anchorable `k` (nonempty k-core, populated (k-1)-shell), favouring
+/// depth so `BEST` has real work; 2 when the spectrum offers nothing.
+fn calibrate_k(shells: &[usize]) -> u32 {
+    let core_size = |k: usize| shells.iter().skip(k).sum::<usize>();
+    (2..shells.len())
+        .rev()
+        .find(|&k| core_size(k) > 0 && shells[k - 1] > 0)
+        .map(|k| k as u32)
+        .unwrap_or(2)
+}
+
+struct ClientOutcome {
+    ok: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// The deterministic request mix, by weight out of 100.
+fn pick_request(rng: &mut SmallRng, n: usize, k: u32) -> Request {
+    let roll = rng.gen_range(0..100u32);
+    let vertex = rng.gen_range(0..n) as u32;
+    match roll {
+        0..=39 => Request::Core(vertex),
+        40..=49 => Request::Spectrum,
+        50..=69 => Request::Followers { k, anchor: vertex },
+        70..=79 => {
+            let second = rng.gen_range(0..n) as u32;
+            Request::Anchored { k, anchors: vec![vertex, second] }
+        }
+        80..=89 => Request::Best { k, b: 2, algo: BestAlgo::Greedy },
+        _ => Request::Best { k, b: 2, algo: BestAlgo::Olak },
+    }
+}
+
+fn run_client(
+    addr: &str,
+    requests: usize,
+    n: usize,
+    k: u32,
+    seed: u64,
+) -> Result<ClientOutcome, String> {
+    let mut client = Client::connect(addr, Duration::from_secs(10))?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut outcome =
+        ClientOutcome { ok: 0, errors: 0, latencies_us: Vec::with_capacity(requests) };
+    for _ in 0..requests {
+        let request = pick_request(&mut rng, n, k);
+        let start = Instant::now();
+        match client.roundtrip(&request) {
+            Ok(_) => {
+                // Only successful round trips feed the percentiles —
+                // a failed request measured nothing (mirrors the
+                // server-side ServiceStats::note_error design).
+                outcome.latencies_us.push(start.elapsed().as_micros() as u64);
+                outcome.ok += 1;
+            }
+            Err(message) => {
+                outcome.errors += 1;
+                eprintln!("loadgen: request {:?} failed: {message}", request.encode());
+                // A failed round trip (timeout, torn read) leaves the
+                // connection possibly desynchronized — a late reply would
+                // pair with the *next* request. Reconnect to restore the
+                // one-line-in/one-line-out invariant before continuing.
+                client = Client::connect(addr, Duration::from_secs(5))?;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Calibration connection: dimensions + spectrum → vertex range and k.
+    let mut probe = match Client::connect(&args.addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (n, k) = match (probe.roundtrip(&Request::Info), probe.roundtrip(&Request::Spectrum)) {
+        (Ok(Response::Info { n, t, epochs, .. }), Ok(Response::Spectrum { shells, .. })) => {
+            let k = calibrate_k(&shells);
+            eprintln!("# loadgen: server at t={t} (epochs={epochs}), n={n}, querying at k={k}");
+            (n, k)
+        }
+        (info, spectrum) => {
+            eprintln!("loadgen: calibration failed: {info:?} / {spectrum:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|i| {
+                let addr = &args.addr;
+                let seed = args.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                scope.spawn(move || run_client(addr, args.requests, n, k, seed))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut transport_failures = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => {
+                ok += o.ok;
+                errors += o.errors;
+                latencies.extend(o.latencies_us);
+            }
+            Err(e) => {
+                transport_failures += 1;
+                eprintln!("loadgen: client failed: {e}");
+            }
+        }
+    }
+
+    let qps = ok as f64 / wall.as_secs_f64().max(1e-9);
+    // One sort up front; percentile_of's in-place sort is then a no-op
+    // pass instead of a clone-and-sort per percentile.
+    latencies.sort_unstable();
+    let mut pct =
+        |p: f64| percentile_of(&mut latencies, p).map_or("-".into(), |v: u64| v.to_string());
+    println!(
+        "loadgen: clients={} requests={} served={ok} errors={errors} wall_ms={} qps={qps:.0} \
+         p50us={} p95us={} p99us={}",
+        args.clients,
+        args.requests,
+        wall.as_millis(),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+    );
+
+    // Server-side view after the run (and optional teardown).
+    match probe.roundtrip(&Request::Stats) {
+        Ok(Response::Stats { epochs, served, errors: server_errors, p50_us, p99_us }) => {
+            println!(
+                "loadgen: server stats: epochs={epochs} served={served} errors={server_errors} \
+                 p50us={} p99us={}",
+                p50_us.map_or("-".into(), |v| v.to_string()),
+                p99_us.map_or("-".into(), |v| v.to_string()),
+            );
+        }
+        other => eprintln!("loadgen: STATS after run failed: {other:?}"),
+    }
+    // A failed teardown must fail the run: the scripted `avt-serve &…;
+    // wait` pattern would otherwise hang on a server that never heard
+    // SHUTDOWN while loadgen reports success.
+    let mut shutdown_failed = false;
+    if args.shutdown {
+        match probe.send_raw("SHUTDOWN") {
+            Ok(reply) if reply.starts_with("OK") => {
+                eprintln!("# loadgen: shutdown acknowledged: {reply}")
+            }
+            Ok(reply) => {
+                shutdown_failed = true;
+                eprintln!("loadgen: shutdown rejected: {reply}");
+            }
+            Err(e) => {
+                shutdown_failed = true;
+                eprintln!("loadgen: shutdown failed: {e}");
+            }
+        }
+    }
+
+    if ok > 0 && errors == 0 && transport_failures == 0 && !shutdown_failed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "loadgen: FAILED (served={ok}, errors={errors}, failed clients={transport_failures}, \
+             shutdown_failed={shutdown_failed})"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -45,6 +45,10 @@ options:
                  once to $AVT_DATA_DIR/cache/ as .csrbin files and replays
                  zero-copy mapped frames; results are identical at either
                  setting, only memory residency and wall time move
+  --no-cache     bypass the $AVT_DATA_DIR/cache/ spill cache (equivalent
+                 to AVT_NO_CACHE=1): mmap runs spill fresh frames to tmp
+                 instead of reusing — the knob for ruling out stale caches
+                 when results look wrong
   --out DIR      CSV output directory      (default results/)
 
 Real data: place SNAP downloads under $AVT_DATA_DIR (default data/) and
@@ -59,12 +63,15 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let mut args = raw.iter().filter(|a| *a != "--quick").cloned();
+    let mut args = raw.iter().filter(|a| *a != "--quick" && *a != "--no-cache").cloned();
     let experiment = args.next().ok_or_else(|| USAGE.to_string())?;
     // --quick selects the tiny baseline context regardless of its position;
     // every explicit flag overrides it (it is filtered out of `args` above
-    // so the main loop never sees it).
+    // so the main loop never sees it). --no-cache is positionless too.
     let quick = raw.iter().any(|a| a == "--quick");
+    if raw.iter().any(|a| a == "--no-cache") {
+        avt_datasets::loader::set_cache_bypass(true);
+    }
     let mut ctx = if quick { Context::tiny() } else { Context::default() };
     let mut out = PathBuf::from("results");
     while let Some(flag) = args.next() {

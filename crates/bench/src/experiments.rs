@@ -102,7 +102,10 @@ pub fn fig3_4(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
 
 /// Figures 5 and 6: cumulative time and visited vertices as `T` grows.
 /// One tracking run per (dataset, algorithm); the T-axis points are prefix
-/// sums over per-snapshot reports.
+/// sums folded *as reports stream out* of [`Tracker::track_into`] — the
+/// engine pushes each snapshot's report in `t`-order while later
+/// snapshots are still solving, and nothing here ever holds an all-`T`
+/// report buffer.
 pub fn fig5_6(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
     let mut time = Table::new(
         "Figure 5: cumulative time (s) with varying T",
@@ -116,31 +119,32 @@ pub fn fig5_6(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         let inst = crate::dataset_instance(ctx, ds);
         let params = AvtParams::new(calibrate_k(&inst.evolving, ds.default_k()), ctx.l);
         for algo in algorithms() {
-            let result = run(algo.as_ref(), &inst, params);
+            let name = algo.name();
             let mut cum_time = Duration::ZERO;
             let mut cum_visited = 0u64;
             let mut axis = t_axis(ctx.snapshots).into_iter().peekable();
-            for (i, report) in result.reports.iter().enumerate() {
+            algo.track_into(&inst, params, &mut |report| {
                 cum_time += report.elapsed;
                 cum_visited += report.metrics.vertices_visited;
-                if axis.peek() == Some(&(i + 1)) {
+                if axis.peek() == Some(&report.t) {
                     axis.next();
                     time.push_row(vec![
                         ds.spec().name.into(),
-                        (i + 1).to_string(),
-                        algo.name().into(),
+                        report.t.to_string(),
+                        name.into(),
                         secs(cum_time),
                     ]);
-                    if algo.name() != "RCM" {
+                    if name != "RCM" {
                         visited.push_row(vec![
                             ds.spec().name.into(),
-                            (i + 1).to_string(),
-                            algo.name().into(),
+                            report.t.to_string(),
+                            name.into(),
                             cum_visited.to_string(),
                         ]);
                     }
                 }
-            }
+            })
+            .expect("experiment datasets are internally consistent");
         }
     }
     (time, visited)
@@ -181,7 +185,8 @@ pub fn fig7_8(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
     (time, visited)
 }
 
-/// Figure 9: cumulative followers as `T` grows (effectiveness).
+/// Figure 9: cumulative followers as `T` grows (effectiveness). Streamed
+/// like [`fig5_6`]: the fold holds one counter, not a result object.
 pub fn fig9(ctx: &Context, datasets: &[Dataset]) -> Table {
     let mut table = Table::new(
         "Figure 9: cumulative followers with varying T",
@@ -191,21 +196,22 @@ pub fn fig9(ctx: &Context, datasets: &[Dataset]) -> Table {
         let inst = crate::dataset_instance(ctx, ds);
         let params = AvtParams::new(calibrate_k(&inst.evolving, ds.default_k()), ctx.l);
         for algo in algorithms() {
-            let result = run(algo.as_ref(), &inst, params);
+            let name = algo.name();
             let mut cum = 0usize;
             let mut axis = t_axis(ctx.snapshots).into_iter().peekable();
-            for (i, &count) in result.follower_counts.iter().enumerate() {
-                cum += count;
-                if axis.peek() == Some(&(i + 1)) {
+            algo.track_into(&inst, params, &mut |report| {
+                cum += report.followers.len();
+                if axis.peek() == Some(&report.t) {
                     axis.next();
                     table.push_row(vec![
                         ds.spec().name.into(),
-                        (i + 1).to_string(),
-                        algo.name().into(),
+                        report.t.to_string(),
+                        name.into(),
                         cum.to_string(),
                     ]);
                 }
-            }
+            })
+            .expect("experiment datasets are internally consistent");
         }
     }
     table

@@ -159,12 +159,32 @@ impl Instance {
 /// frame source it carries. Object-safe (unlike [`SnapshotSolver`], whose
 /// substrate-generic method cannot be boxed), so experiment sweeps can
 /// iterate a `Vec<Box<dyn Tracker>>` roster.
+///
+/// [`Tracker::track_into`] is the primitive: reports stream into the sink
+/// in `t`-order as they are produced (the engine's
+/// [`avt_core::ReportSink`] contract), so prefix consumers — the Figure
+/// 5/6/9 cumulative series — fold in O(1) memory. [`Tracker::track`] is
+/// the collecting convenience on top.
 pub trait Tracker {
     /// Display name used in experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Track all snapshots of `instance`.
-    fn track(&self, instance: &Instance, params: AvtParams) -> Result<AvtResult, GraphError>;
+    /// Track all snapshots of `instance`, streaming each
+    /// [`avt_core::SnapshotReport`] into `sink` in `t`-order.
+    fn track_into(
+        &self,
+        instance: &Instance,
+        params: AvtParams,
+        sink: &mut dyn FnMut(avt_core::SnapshotReport),
+    ) -> Result<(), GraphError>;
+
+    /// Track all snapshots of `instance`, collecting into an
+    /// [`AvtResult`].
+    fn track(&self, instance: &Instance, params: AvtParams) -> Result<AvtResult, GraphError> {
+        let mut result = AvtResult::default();
+        self.track_into(instance, params, &mut |report| result.push_report(report))?;
+        Ok(result)
+    }
 }
 
 /// [`Tracker`] for any engine client: per-snapshot solvers run over the
@@ -178,10 +198,19 @@ impl<S: SnapshotSolver + AvtAlgorithm> Tracker for PerSnapshot<S> {
         self.0.name()
     }
 
-    fn track(&self, instance: &Instance, params: AvtParams) -> Result<AvtResult, GraphError> {
+    fn track_into(
+        &self,
+        instance: &Instance,
+        params: AvtParams,
+        sink: &mut dyn FnMut(avt_core::SnapshotReport),
+    ) -> Result<(), GraphError> {
+        // Re-wrap the unsized sink: `run_into` is generic over a sized
+        // `ReportSink`, and any `FnMut(SnapshotReport)` is one.
         match &instance.mmap {
-            Some(frames) => Engine::default().run(&self.0, frames, params),
-            None => self.0.track(&instance.evolving, params),
+            Some(frames) => Engine::default().run_into(&self.0, frames, params, &mut |r| sink(r)),
+            None => {
+                Engine::default().run_into(&self.0, &instance.evolving, params, &mut |r| sink(r))
+            }
         }
     }
 }
@@ -189,7 +218,8 @@ impl<S: SnapshotSolver + AvtAlgorithm> Tracker for PerSnapshot<S> {
 /// [`Tracker`] for IncAVT, which is deliberately not an engine client: it
 /// carries K-order state across snapshots, so it always walks the resident
 /// evolving graph whatever the frame mode (its rows are therefore
-/// trivially identical between modes).
+/// trivially identical between modes) — but it streams its reports all the
+/// same ([`IncAvt::track_into`]).
 struct Incremental(IncAvt);
 
 impl Tracker for Incremental {
@@ -197,8 +227,13 @@ impl Tracker for Incremental {
         self.0.name()
     }
 
-    fn track(&self, instance: &Instance, params: AvtParams) -> Result<AvtResult, GraphError> {
-        self.0.track(&instance.evolving, params)
+    fn track_into(
+        &self,
+        instance: &Instance,
+        params: AvtParams,
+        sink: &mut dyn FnMut(avt_core::SnapshotReport),
+    ) -> Result<(), GraphError> {
+        self.0.track_into(&instance.evolving, params, &mut |r| sink(r))
     }
 }
 
@@ -288,6 +323,28 @@ mod tests {
     fn algorithm_roster_matches_paper() {
         let names: Vec<_> = algorithms().iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["OLAK", "Greedy", "IncAVT", "RCM"]);
+    }
+
+    #[test]
+    fn tracker_streaming_matches_collected() {
+        // The Figure 5/6/9 folds consume track_into directly; its stream
+        // must be the collected result, in t-order, for every tracker
+        // (including the non-engine IncAVT).
+        let eg = Dataset::CollegeMsg.generate(0.02, 4, 5);
+        let inst = Instance::resident(eg);
+        let params = AvtParams::new(most_anchorable_k(&inst.evolving), 2);
+        for algo in algorithms() {
+            let collected = algo.track(&inst, params).unwrap();
+            let mut ts = Vec::new();
+            let mut followers = Vec::new();
+            algo.track_into(&inst, params, &mut |r| {
+                ts.push(r.t);
+                followers.push(r.followers.len());
+            })
+            .unwrap();
+            assert_eq!(ts, (1..=4).collect::<Vec<_>>(), "{}", algo.name());
+            assert_eq!(followers, collected.follower_counts, "{}", algo.name());
+        }
     }
 
     #[test]

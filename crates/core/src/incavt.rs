@@ -30,6 +30,7 @@ use avt_graph::{EvolvingGraph, GraphError, VertexId};
 use avt_kcore::MaintainedCore;
 
 use crate::anchored::AnchoredCoreState;
+use crate::engine::ReportSink;
 use crate::greedy::{greedy_rounds, GreedyConfig};
 use crate::metrics::Metrics;
 use crate::params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
@@ -38,14 +39,20 @@ use crate::params::{AvtAlgorithm, AvtParams, AvtResult, SnapshotReport};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IncAvt;
 
-impl AvtAlgorithm for IncAvt {
-    fn name(&self) -> &'static str {
-        "IncAVT"
-    }
-
-    fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
-        let mut reports = Vec::with_capacity(evolving.num_snapshots());
-
+impl IncAvt {
+    /// The streaming form of [`AvtAlgorithm::track`]: each snapshot's
+    /// report goes straight into `sink` as the incremental walk produces
+    /// it, in `t`-order — the same [`ReportSink`] contract the engine's
+    /// runners honour, so prefix consumers can fold IncAVT runs without an
+    /// all-`T` report buffer. (IncAvt is deliberately not an engine
+    /// client — it carries K-order state across snapshots — but its
+    /// *output* streams identically.)
+    pub fn track_into<K: ReportSink>(
+        &self,
+        evolving: &EvolvingGraph,
+        params: AvtParams,
+        sink: &mut K,
+    ) -> Result<(), GraphError> {
         // Snapshot 1: build the K-order and run one full Greedy pass
         // (Algorithm 6, lines 1-2).
         let mut maintained = MaintainedCore::new(evolving.initial().clone());
@@ -58,7 +65,7 @@ impl AvtAlgorithm for IncAvt {
             let base_core_size = state.anchored_core_size();
             anchors = greedy_rounds(&mut state, params.l, GreedyConfig::default());
             let followers = state.committed_followers(&base_cores);
-            reports.push(SnapshotReport {
+            sink.push(SnapshotReport {
                 t: 1,
                 anchors: anchors.clone(),
                 followers,
@@ -87,10 +94,22 @@ impl AvtAlgorithm for IncAvt {
                 maintenance_visits,
             );
             anchors = new_anchors;
-            reports.push(report);
+            sink.push(report);
         }
 
-        Ok(AvtResult::from_reports(reports))
+        Ok(())
+    }
+}
+
+impl AvtAlgorithm for IncAvt {
+    fn name(&self) -> &'static str {
+        "IncAVT"
+    }
+
+    fn track(&self, evolving: &EvolvingGraph, params: AvtParams) -> Result<AvtResult, GraphError> {
+        let mut result = AvtResult::default();
+        self.track_into(evolving, params, &mut result)?;
+        Ok(result)
     }
 }
 
@@ -341,6 +360,23 @@ mod tests {
             inc_probes <= greedy_probes,
             "incremental probing ({inc_probes}) must not exceed scratch ({greedy_probes})"
         );
+    }
+
+    #[test]
+    fn streaming_sink_matches_collected_track() {
+        let eg = evolving();
+        let params = AvtParams::new(3, 2);
+        let collected = IncAvt.track(&eg, params).unwrap();
+        let mut ts = Vec::new();
+        let mut follower_counts = Vec::new();
+        IncAvt
+            .track_into(&eg, params, &mut |r: SnapshotReport| {
+                ts.push(r.t);
+                follower_counts.push(r.followers.len());
+            })
+            .unwrap();
+        assert_eq!(ts, vec![1, 2, 3], "reports stream in t-order");
+        assert_eq!(follower_counts, collected.follower_counts);
     }
 
     #[test]

@@ -98,8 +98,10 @@ fn dir_err(dir: &Path, message: impl std::fmt::Display) -> GraphError {
 /// assert_eq!(edge_counts, vec![(1, 1), (2, 2)]);
 /// # std::fs::remove_dir_all(dir).unwrap();
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MmapFrames {
+    // Clone is a refcount bump per frame (the mappings themselves are
+    // shared), which is what lets callers memoize an opened source.
     frames: Vec<Arc<MmapCsr>>,
     dir: PathBuf,
 }

@@ -37,6 +37,20 @@ impl CoreSpectrum {
         Self::from_decomposition(&CoreDecomposition::compute(graph))
     }
 
+    /// Build directly from a plain core-number array — e.g. a maintained
+    /// K-order's `core_slice`, where every value is a genuine core number
+    /// (unlike an *anchored* decomposition, whose anchor sentinel this
+    /// constructor would happily count as a shell; use
+    /// [`Self::from_decomposition`] there).
+    pub fn from_cores(cores: &[u32]) -> Self {
+        let max = cores.iter().copied().max().unwrap_or(0) as usize;
+        let mut shell = vec![0usize; max + 1];
+        for &c in cores {
+            shell[c as usize] += 1;
+        }
+        CoreSpectrum { shell }
+    }
+
     /// The degeneracy (maximum core number).
     pub fn degeneracy(&self) -> u32 {
         self.shell.len() as u32 - 1

@@ -1,0 +1,452 @@
+//! Query execution: requests in, epoch-consistent answers out.
+//!
+//! [`execute`] answers one [`Request`] against one published
+//! [`EpochFrame`] — pure with respect to the timeline, so it is trivially
+//! safe to run from many threads against the same epoch. [`Service`] puts
+//! a bounded worker pool in front of it: queries queue on a
+//! [`std::sync::mpsc::sync_channel`] (callers feel backpressure instead of
+//! the pool growing unboundedly), each worker grabs the *current* epoch at
+//! dequeue time, and per-query visited/probed counters plus executor
+//! latency flow into [`ServiceStats`].
+//!
+//! The cheap queries (`CORE`, `SPECTRUM`, `INFO`, `STATS`) read only what
+//! the epoch published — the core array and its shell histogram, no
+//! decomposition and nothing proportional to `n`. The expensive
+//! ones (`ANCHORED`, `FOLLOWERS`, `BEST`) run the same
+//! [`AnchoredCoreState`] / [`SnapshotSolver`] machinery the offline
+//! experiments use, on the frozen frame — which is exactly what makes the
+//! service-vs-offline equivalence tests possible.
+
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use avt_core::{AnchoredCoreState, AvtParams, Greedy, Olak, SnapshotSolver};
+
+use crate::protocol::{BestAlgo, Request, Response};
+use crate::stats::ServiceStats;
+use crate::timeline::{EpochFrame, LiveTimeline};
+
+/// Validate a vertex id against the epoch's vertex set.
+fn check_vertex(epoch: &EpochFrame, v: avt_graph::VertexId) -> Result<(), String> {
+    let n = epoch.frame.num_vertices();
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(format!("vertex {v} out of range (n = {n})"))
+    }
+}
+
+fn check_k(k: u32) -> Result<(), String> {
+    if k >= 1 {
+        Ok(())
+    } else {
+        Err("k must be at least 1".into())
+    }
+}
+
+fn sorted(mut v: Vec<avt_graph::VertexId>) -> Vec<avt_graph::VertexId> {
+    v.sort_unstable();
+    v
+}
+
+/// Answer `request` against `epoch`.
+///
+/// `epochs` and `stats` feed the `INFO`/`STATS` responses; they describe
+/// the service, not the epoch. Pure otherwise: no locks, no timeline
+/// access, deterministic per epoch — two readers asking the same question
+/// of the same epoch get bit-identical answers, which is the contract the
+/// equivalence proptests pin.
+pub fn execute(
+    request: &Request,
+    epoch: &EpochFrame,
+    epochs: u64,
+    stats: &ServiceStats,
+) -> Result<Response, String> {
+    let frame = epoch.frame.as_ref();
+    match request {
+        // Everything in an INFO reply describes the answered epoch — the
+        // epoch count is `t` as of its publication, not a racy read of the
+        // live counter, so `t == epochs` holds in every reply even while
+        // the writer advances mid-query.
+        Request::Info => Ok(Response::Info {
+            t: epoch.t,
+            n: frame.num_vertices(),
+            m: frame.num_edges(),
+            epochs: epoch.t as u64,
+        }),
+        // The histogram was derived once at publication; answering is a
+        // copy of O(degeneracy) counters.
+        Request::Spectrum => Ok(Response::Spectrum { t: epoch.t, shells: epoch.shells.clone() }),
+        Request::Core(v) => {
+            check_vertex(epoch, *v)?;
+            Ok(Response::Core { t: epoch.t, v: *v, core: epoch.core(*v) })
+        }
+        Request::Anchored { k, anchors } => {
+            check_k(*k)?;
+            for &a in anchors {
+                check_vertex(epoch, a)?;
+            }
+            let mut unique = anchors.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            let state = AnchoredCoreState::with_anchors(frame, *k, &unique);
+            Ok(Response::Anchored {
+                t: epoch.t,
+                k: *k,
+                size: state.anchored_core_size(),
+                followers: sorted(state.committed_followers(&epoch.cores)),
+            })
+        }
+        Request::Followers { k, anchor } => {
+            check_k(*k)?;
+            check_vertex(epoch, *anchor)?;
+            let mut state = AnchoredCoreState::new(frame, *k);
+            Ok(Response::Followers {
+                t: epoch.t,
+                k: *k,
+                anchor: *anchor,
+                followers: sorted(state.followers_of(*anchor)),
+            })
+        }
+        Request::Best { k, b, algo } => {
+            check_k(*k)?;
+            let params = AvtParams::new(*k, *b);
+            let report = match algo {
+                BestAlgo::Greedy => Greedy::default().solve_snapshot(epoch.t, frame, params),
+                BestAlgo::Olak => Olak.solve_snapshot(epoch.t, frame, params),
+            };
+            Ok(Response::Best {
+                t: epoch.t,
+                k: *k,
+                algo: *algo,
+                anchors: report.anchors,
+                followers: sorted(report.followers),
+                visited: report.metrics.vertices_visited,
+                probed: report.metrics.candidates_probed,
+            })
+        }
+        Request::Stats => Ok(Response::Stats {
+            epochs,
+            served: stats.served(),
+            errors: stats.errors(),
+            p50_us: stats.latency.percentile(50.0),
+            p99_us: stats.latency.percentile(99.0),
+        }),
+    }
+}
+
+/// Configuration of the [`Service`] worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries (≥ 1).
+    pub workers: usize,
+    /// Queued (accepted, unstarted) queries before callers block.
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Two workers, a queue of 32 — enough to demonstrate overlap without
+    /// presuming hardware.
+    fn default() -> Self {
+        ServiceConfig { workers: 2, queue_depth: 32 }
+    }
+}
+
+struct Job {
+    request: Request,
+    reply: mpsc::SyncSender<Result<Response, String>>,
+}
+
+/// The in-process query service: a bounded worker pool over a
+/// [`LiveTimeline`].
+///
+/// Embed it directly (`examples/live_service.rs` does) or put the TCP
+/// front-end of [`crate::tcp`] in front of it. [`Service::query`] is safe
+/// to call from any number of threads; each query observes the newest
+/// epoch at execution time and the reply says which (`t=` in every
+/// response).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use avt_graph::Graph;
+/// use avt_serve::{LiveTimeline, Request, Response, Service};
+///
+/// let tl = Arc::new(LiveTimeline::new(Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap()));
+/// let service = Service::start(Arc::clone(&tl), Default::default());
+/// match service.query(Request::Core(1)).unwrap() {
+///     Response::Core { core, .. } => assert_eq!(core, 1),
+///     other => panic!("unexpected reply {other:?}"),
+/// }
+/// let report = service.shutdown();
+/// assert_eq!(report.worker_panics, 0);
+/// ```
+pub struct Service {
+    timeline: Arc<LiveTimeline>,
+    stats: Arc<ServiceStats>,
+    jobs: mpsc::SyncSender<Job>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// What [`Service::shutdown`] observed while draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Workers that died by panic instead of draining cleanly. Zero on a
+    /// healthy service; the `avt-serve` binary turns nonzero into a
+    /// nonzero exit code.
+    pub worker_panics: usize,
+}
+
+impl Service {
+    /// Spawn the worker pool and start serving.
+    pub fn start(timeline: Arc<LiveTimeline>, config: ServiceConfig) -> Service {
+        let workers_n = config.workers.max(1);
+        let stats = Arc::new(ServiceStats::default());
+        let (jobs, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let workers = (0..workers_n)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let timeline = Arc::clone(&timeline);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("avt-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the dequeue; execution
+                        // runs unlocked so workers overlap.
+                        let job = rx.lock().expect("job queue lock poisoned").recv();
+                        let Ok(job) = job else { break };
+                        let start = Instant::now();
+                        let epoch = timeline.current();
+                        let reply =
+                            execute(&job.request, &epoch, timeline.epochs_published(), &stats);
+                        stats.record(reply.is_ok(), start.elapsed().as_micros() as u64);
+                        // The client may have given up; that is its
+                        // business, not an executor fault.
+                        let _ = job.reply.send(reply);
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Service { timeline, stats, jobs, workers }
+    }
+
+    /// Execute one query, blocking until a worker answers (or until the
+    /// queue has room, when the pool is saturated — bounded backpressure
+    /// by construction).
+    pub fn query(&self, request: Request) -> Result<Response, String> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.jobs
+            .send(Job { request, reply: tx })
+            .map_err(|_| "service is shutting down".to_string())?;
+        rx.recv().map_err(|_| "worker died before answering".to_string())?
+    }
+
+    /// The timeline this service reads.
+    pub fn timeline(&self) -> &Arc<LiveTimeline> {
+        &self.timeline
+    }
+
+    /// Live counters (shared with the workers).
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.stats
+    }
+
+    /// Stop accepting queries, drain the queue, and join every worker.
+    pub fn shutdown(self) -> ShutdownReport {
+        let Service { jobs, workers, .. } = self;
+        drop(jobs); // workers drain the queue, then their recv() errors out
+        let worker_panics = workers.into_iter().map(|w| w.join()).filter(Result::is_err).count();
+        ShutdownReport { worker_panics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avt_core::AvtAlgorithm;
+    use avt_graph::{EdgeBatch, EvolvingGraph, Graph};
+
+    /// The winged graph of the greedy tests: K4 core, two savable wings.
+    fn winged() -> Graph {
+        Graph::from_edges(
+            10,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 0),
+                (4, 5),
+                (5, 2),
+                (5, 3),
+                (6, 4),
+                (7, 0),
+                (7, 2),
+                (7, 8),
+                (8, 1),
+                (9, 8),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn service() -> Service {
+        Service::start(Arc::new(LiveTimeline::new(winged())), ServiceConfig::default())
+    }
+
+    #[test]
+    fn info_spectrum_and_core_agree_with_the_frame() {
+        let svc = service();
+        let Response::Info { t, n, m, epochs } = svc.query(Request::Info).unwrap() else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!((t, n, m, epochs), (1, 10, 16, 1));
+        let Response::Spectrum { shells, .. } = svc.query(Request::Spectrum).unwrap() else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(shells.iter().sum::<usize>(), 10);
+        let Response::Core { core, .. } = svc.query(Request::Core(0)).unwrap() else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(core, 3);
+        assert_eq!(svc.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn best_matches_the_offline_solver() {
+        let svc = service();
+        let offline =
+            Greedy::default().track(&EvolvingGraph::new(winged()), AvtParams::new(3, 2)).unwrap();
+        let Response::Best { anchors, followers, visited, probed, .. } =
+            svc.query(Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy }).unwrap()
+        else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(anchors, offline.anchor_sets[0]);
+        assert_eq!(followers.len(), offline.follower_counts[0]);
+        let m = offline.reports[0].metrics;
+        assert_eq!((visited, probed), (m.vertices_visited, m.candidates_probed));
+        assert_eq!(svc.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn anchored_and_followers_agree() {
+        let svc = service();
+        let Response::Followers { followers, .. } =
+            svc.query(Request::Followers { k: 3, anchor: 6 }).unwrap()
+        else {
+            panic!("wrong reply kind")
+        };
+        let Response::Anchored { size, followers: committed, .. } =
+            svc.query(Request::Anchored { k: 3, anchors: vec![6] }).unwrap()
+        else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(followers, committed);
+        // size = base core (4) + anchor + followers.
+        assert_eq!(size, 4 + 1 + followers.len());
+        // Duplicate anchors collapse rather than double-count.
+        let Response::Anchored { size: dup_size, .. } =
+            svc.query(Request::Anchored { k: 3, anchors: vec![6, 6] }).unwrap()
+        else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(dup_size, size);
+        assert_eq!(svc.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn bad_requests_error_and_count() {
+        let svc = service();
+        assert!(svc.query(Request::Core(10)).unwrap_err().contains("out of range"));
+        assert!(svc
+            .query(Request::Followers { k: 0, anchor: 1 })
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(svc
+            .query(Request::Anchored { k: 3, anchors: vec![1, 99] })
+            .unwrap_err()
+            .contains("out of range"));
+        let Response::Stats { served, errors, .. } = svc.query(Request::Stats).unwrap() else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(errors, 3);
+        assert_eq!(served, 0, "stats reads its own counters before recording itself");
+        assert_eq!(svc.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn queries_see_fresh_epochs() {
+        let svc = service();
+        svc.timeline().apply_batch(EdgeBatch::from_pairs([(6, 9)], [])).unwrap();
+        let Response::Info { t, epochs, .. } = svc.query(Request::Info).unwrap() else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!((t, epochs), (2, 2));
+        assert_eq!(svc.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn concurrent_queries_against_a_moving_timeline() {
+        let svc = Arc::new(service());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        // Each answer must be internally consistent for
+                        // *some* epoch: the spectrum always sums to n.
+                        match svc.query(Request::Spectrum).unwrap() {
+                            Response::Spectrum { shells, .. } => {
+                                assert_eq!(shells.iter().sum::<usize>(), 10)
+                            }
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                        match svc.query(Request::Best { k: 3, b: 1, algo: BestAlgo::Olak }) {
+                            Ok(Response::Best { .. }) => {}
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                    }
+                });
+            }
+            let tl = Arc::clone(svc.timeline());
+            scope.spawn(move || {
+                let mut flip = true;
+                for _ in 0..20 {
+                    let batch = if flip {
+                        EdgeBatch::from_pairs([(6, 9)], [])
+                    } else {
+                        EdgeBatch::from_pairs([], [(6, 9)])
+                    };
+                    tl.apply_batch(batch).unwrap();
+                    flip = !flip;
+                }
+            });
+        });
+        let stats = Arc::clone(svc.stats());
+        let svc = Arc::into_inner(svc).expect("all clones dropped");
+        assert_eq!(svc.shutdown().worker_panics, 0);
+        assert_eq!(stats.served(), 200);
+        assert_eq!(stats.errors(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_queries() {
+        // Queries racing a shutdown must all be answered (drain, not
+        // abandon): fire a burst, join the clients, then shut down and
+        // check the books balance.
+        let svc = service();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..8).map(|_| scope.spawn(|| svc.query(Request::Spectrum).is_ok())).collect();
+            assert!(handles.into_iter().all(|h| h.join().unwrap()));
+        });
+        let stats = Arc::clone(svc.stats());
+        assert_eq!(svc.shutdown().worker_panics, 0);
+        assert_eq!(stats.served(), 8);
+    }
+}

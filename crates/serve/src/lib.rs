@@ -1,0 +1,64 @@
+//! Online anchored-core query service over a live evolving graph.
+//!
+//! Everything below PR 4 replays a *finished* timeline offline; this crate
+//! answers "what is the anchored k-core — and the best `b` anchors —
+//! *right now*?" while edge batches keep arriving. Three layers, each
+//! usable on its own:
+//!
+//! * [`LiveTimeline`] — the writer path. Each [`avt_graph::EdgeBatch`]
+//!   flows through [`avt_graph::CsrGraph::apply_batch`] (functional frame
+//!   derivation, validating the batch up front) and
+//!   [`avt_kcore::MaintainedCore`] (incremental K-order repair), then the
+//!   new epoch is *published* as one `Arc` swap. Readers share frozen
+//!   frames zero-copy and are never invalidated; the recorded history
+//!   makes the timeline a replayable [`avt_graph::FrameSource`] and
+//!   spillable to `.csrbin` for audit.
+//! * [`Service`] — the query executor: a bounded worker pool dispatching
+//!   [`Request`]s ([`protocol`] lists them: spectrum, core, anchored core,
+//!   followers, Greedy-vs-OLAK best-`b` anchors, stats) against the
+//!   current epoch, recording per-query visited/probed counters and
+//!   latency into lock-free [`stats::ServiceStats`].
+//! * [`tcp::TcpFront`] — a thin [`std::net::TcpListener`] front speaking
+//!   the newline-delimited protocol (one request line, one response line),
+//!   with `STATS` introspection and a drain-clean `SHUTDOWN`.
+//!
+//! The `avt-serve` binary wires all three over a churned dataset;
+//! `avt-bench`'s `loadgen` binary is the matching traffic generator. The
+//! whole crate is std-only, like the rest of the workspace.
+//!
+//! # In-process quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use avt_graph::{EdgeBatch, Graph};
+//! use avt_serve::{LiveTimeline, Request, Response, Service};
+//!
+//! let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 0), (3, 1)]).unwrap();
+//! let timeline = Arc::new(LiveTimeline::new(g));
+//! let service = Service::start(Arc::clone(&timeline), Default::default());
+//!
+//! // Queries and writes interleave; every answer names its epoch.
+//! timeline.apply_batch(EdgeBatch::from_pairs([(4, 0)], [])).unwrap();
+//! match service.query(Request::Core(3)).unwrap() {
+//!     Response::Core { t, core, .. } => {
+//!         assert_eq!(t, 2);
+//!         assert_eq!(core, 2);
+//!     }
+//!     other => panic!("unexpected reply {other:?}"),
+//! }
+//! assert_eq!(service.shutdown().worker_panics, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod protocol;
+pub mod stats;
+pub mod tcp;
+pub mod timeline;
+
+pub use executor::{execute, Service, ServiceConfig, ShutdownReport};
+pub use protocol::{BestAlgo, Request, Response};
+pub use stats::ServiceStats;
+pub use tcp::TcpFront;
+pub use timeline::{EpochFrame, EpochReport, LiveTimeline};

@@ -1,0 +1,204 @@
+//! `avt-serve`: the online anchored-core query service.
+//!
+//! ```text
+//! avt-serve [--addr 127.0.0.1:7171] [--workers 2] [--scale 0.02]
+//!           [--epochs 30] [--epoch-ms 100] [--seed 42] [--spill DIR]
+//! ```
+//!
+//! Starts a [`avt_serve::LiveTimeline`] on a churned dataset stream (the
+//! real SNAP download when present under `$AVT_DATA_DIR`, the synthetic
+//! stand-in otherwise), applies one churn batch every `--epoch-ms`
+//! milliseconds on a writer thread, and serves the newline-delimited query
+//! protocol on `--addr` until a client sends `SHUTDOWN`. Prints
+//! `avt-serve listening on <addr>` once the socket is bound (use
+//! `--addr 127.0.0.1:0` for an ephemeral port and scrape that line).
+//!
+//! Exit status: 0 on a clean drain, 1 if any query worker panicked, 2 on
+//! usage errors.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use avt_datasets::Dataset;
+use avt_graph::FrameSource;
+use avt_serve::{LiveTimeline, Service, ServiceConfig, TcpFront};
+
+const USAGE: &str = "\
+usage: avt-serve [options]
+
+options:
+  --addr HOST:PORT  listen address (default 127.0.0.1:7171; port 0 = ephemeral,
+                    the bound address is printed on stdout)
+  --workers N       query worker threads          (default 2)
+  --scale S         dataset scale in (0, 1]       (default 0.02)
+  --epochs T        total epochs in the stream — the initial snapshot plus
+                    T-1 churn batches             (default 30)
+  --epoch-ms MS     milliseconds between batches  (default 100)
+  --seed N          stream generation seed        (default 42)
+  --spill DIR       on shutdown, spill the served history to DIR as a
+                    .csrbin frame directory (offline audit/replay)
+
+The service speaks the newline protocol documented in avt_serve::protocol
+(INFO / SPECTRUM / CORE / ANCHORED / FOLLOWERS / BEST / STATS / SHUTDOWN);
+drive it with `loadgen` from avt-bench or plain netcat.
+";
+
+struct Args {
+    addr: String,
+    workers: usize,
+    scale: f64,
+    epochs: usize,
+    epoch_ms: u64,
+    seed: u64,
+    spill: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".into(),
+        workers: 2,
+        scale: 0.02,
+        epochs: 30,
+        epoch_ms: 100,
+        seed: 42,
+        spill: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.into());
+        }
+        let value = it.next().ok_or_else(|| format!("missing value for {flag}\n{USAGE}"))?;
+        match flag.as_str() {
+            "--addr" => args.addr = value,
+            "--workers" => args.workers = value.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--scale" => args.scale = value.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--epochs" => args.epochs = value.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--epoch-ms" => {
+                args.epoch_ms = value.parse().map_err(|e| format!("--epoch-ms: {e}"))?
+            }
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--spill" => args.spill = Some(value.into()),
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    if !(args.scale > 0.0 && args.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    if args.epochs < 1 {
+        return Err("--epochs must be at least 1".into());
+    }
+    Ok(Args { workers: args.workers.max(1), ..args })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // The stream: initial snapshot starts the timeline, the batches feed
+    // the writer thread — the same churn model the offline experiments
+    // replay, applied live.
+    let stream = Dataset::Deezer.load_or_generate(args.scale, args.epochs, args.seed);
+    let batches = stream.batches().to_vec();
+    eprintln!(
+        "# stream: {} vertices, {} initial edges, {} churn batches (scale {}, seed {})",
+        stream.num_vertices(),
+        stream.initial().num_edges(),
+        batches.len(),
+        args.scale,
+        args.seed
+    );
+
+    let timeline = Arc::new(LiveTimeline::new(stream.initial().clone()));
+    let service = Service::start(
+        Arc::clone(&timeline),
+        ServiceConfig { workers: args.workers, ..Default::default() },
+    );
+
+    // Writer: one batch per tick until the script runs out or we shut
+    // down. Pre-scripted batches are always valid, so an apply failure is
+    // a real bug worth crashing the writer (and failing CI) over.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let timeline = Arc::clone(&timeline);
+        let stop = Arc::clone(&stop);
+        let tick = Duration::from_millis(args.epoch_ms);
+        std::thread::Builder::new()
+            .name("avt-serve-writer".into())
+            .spawn(move || {
+                for batch in batches {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(tick);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    timeline.apply_batch(batch).expect("scripted churn batches apply cleanly");
+                }
+            })
+            .expect("spawning the writer thread")
+    };
+
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let bound = listener.local_addr().expect("bound listener has an address");
+    // Scrapeable by harnesses (stdout, immediately flushed by println).
+    println!("avt-serve listening on {bound}");
+
+    let front = TcpFront::default();
+    let serve_result = front.run(listener, &service);
+
+    stop.store(true, Ordering::Relaxed);
+    let writer_ok = writer.join().is_ok();
+
+    if let Some(dir) = &args.spill {
+        match timeline.spill(dir) {
+            Ok(frames) => {
+                eprintln!("# spilled {} frames to {}", frames.num_frames(), dir.display())
+            }
+            Err(e) => eprintln!("warning: audit spill to {} failed: {e}", dir.display()),
+        }
+    }
+
+    let stats = Arc::clone(service.stats());
+    let report = service.shutdown();
+    println!(
+        "avt-serve done: epochs={} served={} errors={} p50us={} p99us={} maintenance_visited={}",
+        timeline.epochs_published(),
+        stats.served(),
+        stats.errors(),
+        stats.latency.percentile(50.0).map_or("-".into(), |v| v.to_string()),
+        stats.latency.percentile(99.0).map_or("-".into(), |v| v.to_string()),
+        timeline.maintenance_visited(),
+    );
+
+    match serve_result {
+        Err(e) => {
+            eprintln!("listener failed: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(()) if report.worker_panics > 0 => {
+            eprintln!("{} query worker(s) panicked", report.worker_panics);
+            ExitCode::FAILURE
+        }
+        Ok(()) if !writer_ok => {
+            eprintln!("writer thread panicked");
+            ExitCode::FAILURE
+        }
+        Ok(()) => ExitCode::SUCCESS,
+    }
+}

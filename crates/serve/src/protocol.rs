@@ -1,0 +1,500 @@
+//! The newline-delimited wire protocol.
+//!
+//! One request per line, one response line per request — no framing, no
+//! binary, so `nc localhost 7171` is a working client. Requests are a
+//! keyword plus whitespace-separated arguments; responses are `OK <kind>
+//! key=value ...` or `ERR <message>`. Vertex lists are comma-separated
+//! with `-` for the empty list (an empty field would be invisible in a
+//! space-split line).
+//!
+//! | Request | Response |
+//! |---------|----------|
+//! | `INFO` | `OK info t=.. n=.. m=.. epochs=..` |
+//! | `SPECTRUM` | `OK spectrum t=.. shells=s0,s1,..` (`shells[c]` = vertices with core exactly `c`) |
+//! | `CORE <v>` | `OK core t=.. v=.. core=..` |
+//! | `ANCHORED <k> <v,v,..>` | `OK anchored t=.. k=.. size=.. followers=..` |
+//! | `FOLLOWERS <k> <v>` | `OK followers t=.. k=.. anchor=.. followers=..` |
+//! | `BEST <k> <b> <greedy\|olak>` | `OK best t=.. k=.. algo=.. anchors=.. followers=.. visited=.. probed=..` |
+//! | `STATS` | `OK stats epochs=.. served=.. errors=.. p50us=.. p99us=..` |
+//! | `SHUTDOWN` | `OK bye` — then the whole service drains and exits |
+//! | `QUIT` | closes this connection only |
+//!
+//! `SHUTDOWN`/`QUIT` are connection-level verbs handled by the TCP
+//! front-end; everything above them is a [`Request`] executed against the
+//! current epoch. Every *per-epoch* `OK` response — all but `stats`
+//! (which describes the service, not a snapshot) and the `bye` ack —
+//! carries the epoch `t` it was answered at, so a client interleaving
+//! queries with a running writer can tell which snapshot each answer
+//! describes.
+
+use avt_graph::VertexId;
+
+/// Hard cap on anchors per `ANCHORED` request and on `b` per `BEST`
+/// request: queries cost O(b · candidates) anchored-decomposition work, and
+/// a service must bound what one line of input can make it do.
+pub const MAX_ANCHORS: usize = 64;
+
+/// The per-snapshot solver a `BEST` request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BestAlgo {
+    /// The paper's optimized Greedy (K-order pruning + order-based
+    /// follower computation).
+    Greedy,
+    /// The OLAK baseline (no pruning, undirected shell search) — same
+    /// answers, more probes; querying both exposes the paper's efficiency
+    /// gap live.
+    Olak,
+}
+
+impl BestAlgo {
+    /// Lowercase wire name.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            BestAlgo::Greedy => "greedy",
+            BestAlgo::Olak => "olak",
+        }
+    }
+}
+
+/// A query executed against the current epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Graph dimensions and epoch count.
+    Info,
+    /// Shell histogram of the current epoch.
+    Spectrum,
+    /// Core number of one vertex.
+    Core(VertexId),
+    /// Anchored k-core size and followers for an explicit anchor set.
+    Anchored {
+        /// Degree threshold.
+        k: u32,
+        /// The anchors to commit (≤ [`MAX_ANCHORS`]).
+        anchors: Vec<VertexId>,
+    },
+    /// Followers of one hypothetical anchor.
+    Followers {
+        /// Degree threshold.
+        k: u32,
+        /// The anchor to evaluate.
+        anchor: VertexId,
+    },
+    /// Best-`b` anchor selection on the current epoch.
+    Best {
+        /// Degree threshold.
+        k: u32,
+        /// Anchor budget (≤ [`MAX_ANCHORS`]).
+        b: usize,
+        /// Which solver to run.
+        algo: BestAlgo,
+    },
+    /// Service counters.
+    Stats,
+}
+
+/// A successful response. [`Response::encode`] and [`Response::parse`]
+/// round-trip the wire form; the server additionally emits `ERR <message>`
+/// lines for rejected requests (see [`encode_reply`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to `INFO`.
+    Info {
+        /// Current epoch.
+        t: usize,
+        /// Vertex count.
+        n: usize,
+        /// Edge count at this epoch.
+        m: usize,
+        /// Epochs published so far.
+        epochs: u64,
+    },
+    /// Reply to `SPECTRUM`.
+    Spectrum {
+        /// Current epoch.
+        t: usize,
+        /// `shells[c]` = number of vertices with core number exactly `c`.
+        shells: Vec<usize>,
+    },
+    /// Reply to `CORE`.
+    Core {
+        /// Current epoch.
+        t: usize,
+        /// The queried vertex.
+        v: VertexId,
+        /// Its core number.
+        core: u32,
+    },
+    /// Reply to `ANCHORED`.
+    Anchored {
+        /// Current epoch.
+        t: usize,
+        /// Degree threshold.
+        k: u32,
+        /// `|C_k(S)|`: core + anchors + followers.
+        size: usize,
+        /// The followers, ascending.
+        followers: Vec<VertexId>,
+    },
+    /// Reply to `FOLLOWERS`.
+    Followers {
+        /// Current epoch.
+        t: usize,
+        /// Degree threshold.
+        k: u32,
+        /// The evaluated anchor.
+        anchor: VertexId,
+        /// Its followers, ascending.
+        followers: Vec<VertexId>,
+    },
+    /// Reply to `BEST`.
+    Best {
+        /// Current epoch.
+        t: usize,
+        /// Degree threshold.
+        k: u32,
+        /// The solver that ran.
+        algo: BestAlgo,
+        /// Selected anchors, in commit order.
+        anchors: Vec<VertexId>,
+        /// Their followers, ascending.
+        followers: Vec<VertexId>,
+        /// Vertices visited answering this query.
+        visited: u64,
+        /// Candidates probed answering this query.
+        probed: u64,
+    },
+    /// Reply to `STATS`.
+    Stats {
+        /// Epochs published so far.
+        epochs: u64,
+        /// Queries served (successes).
+        served: u64,
+        /// Queries rejected.
+        errors: u64,
+        /// p50 executor latency in µs (absent before the first query).
+        p50_us: Option<u64>,
+        /// p99 executor latency in µs (absent before the first query).
+        p99_us: Option<u64>,
+    },
+}
+
+fn join_list<T: ToString>(items: &[T]) -> String {
+    if items.is_empty() {
+        return "-".into();
+    }
+    items.iter().map(T::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn parse_list<T: std::str::FromStr>(field: &str, value: &str) -> Result<Vec<T>, String> {
+    if value == "-" {
+        return Ok(Vec::new());
+    }
+    value.split(',').map(|x| x.parse().map_err(|_| format!("bad {field} element {x:?}"))).collect()
+}
+
+fn parse_num<T: std::str::FromStr>(field: &str, value: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("bad {field} value {value:?}"))
+}
+
+impl Request {
+    /// The wire line for this request (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Info => "INFO".into(),
+            Request::Spectrum => "SPECTRUM".into(),
+            Request::Core(v) => format!("CORE {v}"),
+            Request::Anchored { k, anchors } => format!("ANCHORED {k} {}", join_list(anchors)),
+            Request::Followers { k, anchor } => format!("FOLLOWERS {k} {anchor}"),
+            Request::Best { k, b, algo } => format!("BEST {k} {b} {}", algo.wire_name()),
+            Request::Stats => "STATS".into(),
+        }
+    }
+
+    /// Parse one request line. Keywords are case-insensitive; argument
+    /// counts and ranges are validated here so the executor only ever sees
+    /// well-formed requests.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().ok_or("empty request")?.to_ascii_uppercase();
+        let args: Vec<&str> = tokens.collect();
+        let want = |n: usize| {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!("{keyword} takes {n} argument(s), got {}", args.len()))
+            }
+        };
+        let req = match keyword.as_str() {
+            "INFO" => {
+                want(0)?;
+                Request::Info
+            }
+            "SPECTRUM" => {
+                want(0)?;
+                Request::Spectrum
+            }
+            "CORE" => {
+                want(1)?;
+                Request::Core(parse_num("vertex", args[0])?)
+            }
+            "ANCHORED" => {
+                want(2)?;
+                let k = parse_num("k", args[0])?;
+                let anchors: Vec<VertexId> = parse_list("anchors", args[1])?;
+                if anchors.len() > MAX_ANCHORS {
+                    return Err(format!("at most {MAX_ANCHORS} anchors per request"));
+                }
+                Request::Anchored { k, anchors }
+            }
+            "FOLLOWERS" => {
+                want(2)?;
+                Request::Followers {
+                    k: parse_num("k", args[0])?,
+                    anchor: parse_num("anchor", args[1])?,
+                }
+            }
+            "BEST" => {
+                want(3)?;
+                let k = parse_num("k", args[0])?;
+                let b: usize = parse_num("b", args[1])?;
+                if b > MAX_ANCHORS {
+                    return Err(format!("at most b = {MAX_ANCHORS} per request"));
+                }
+                let algo = match args[2].to_ascii_lowercase().as_str() {
+                    "greedy" => BestAlgo::Greedy,
+                    "olak" => BestAlgo::Olak,
+                    other => return Err(format!("unknown algorithm {other:?} (greedy|olak)")),
+                };
+                Request::Best { k, b, algo }
+            }
+            "STATS" => {
+                want(0)?;
+                Request::Stats
+            }
+            other => return Err(format!("unknown request {other:?}")),
+        };
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// The wire line for this response (no trailing newline), starting
+    /// with `OK <kind>`.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Info { t, n, m, epochs } => {
+                format!("OK info t={t} n={n} m={m} epochs={epochs}")
+            }
+            Response::Spectrum { t, shells } => {
+                format!("OK spectrum t={t} shells={}", join_list(shells))
+            }
+            Response::Core { t, v, core } => format!("OK core t={t} v={v} core={core}"),
+            Response::Anchored { t, k, size, followers } => {
+                format!("OK anchored t={t} k={k} size={size} followers={}", join_list(followers))
+            }
+            Response::Followers { t, k, anchor, followers } => {
+                format!(
+                    "OK followers t={t} k={k} anchor={anchor} followers={}",
+                    join_list(followers)
+                )
+            }
+            Response::Best { t, k, algo, anchors, followers, visited, probed } => format!(
+                "OK best t={t} k={k} algo={} anchors={} followers={} visited={visited} \
+                 probed={probed}",
+                algo.wire_name(),
+                join_list(anchors),
+                join_list(followers)
+            ),
+            Response::Stats { epochs, served, errors, p50_us, p99_us } => {
+                let opt = |v: &Option<u64>| v.map_or("-".into(), |x: u64| x.to_string());
+                format!(
+                    "OK stats epochs={epochs} served={served} errors={errors} p50us={} p99us={}",
+                    opt(p50_us),
+                    opt(p99_us)
+                )
+            }
+        }
+    }
+
+    /// Parse one response line. `ERR <message>` lines come back as
+    /// `Err(message)`; malformed lines as `Err` with a parse diagnosis.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let line = line.trim_end();
+        if let Some(message) = line.strip_prefix("ERR ") {
+            return Err(message.to_string());
+        }
+        let rest = line.strip_prefix("OK ").ok_or_else(|| format!("malformed reply {line:?}"))?;
+        let mut tokens = rest.split_whitespace();
+        let kind = tokens.next().ok_or("reply missing kind")?;
+        let mut fields = std::collections::BTreeMap::new();
+        for token in tokens {
+            let (key, value) =
+                token.split_once('=').ok_or_else(|| format!("malformed field {token:?}"))?;
+            fields.insert(key.to_string(), value.to_string());
+        }
+        let get = |key: &str| {
+            fields.get(key).cloned().ok_or_else(|| format!("{kind} reply missing {key}"))
+        };
+        let response = match kind {
+            "info" => Response::Info {
+                t: parse_num("t", &get("t")?)?,
+                n: parse_num("n", &get("n")?)?,
+                m: parse_num("m", &get("m")?)?,
+                epochs: parse_num("epochs", &get("epochs")?)?,
+            },
+            "spectrum" => Response::Spectrum {
+                t: parse_num("t", &get("t")?)?,
+                shells: parse_list("shells", &get("shells")?)?,
+            },
+            "core" => Response::Core {
+                t: parse_num("t", &get("t")?)?,
+                v: parse_num("v", &get("v")?)?,
+                core: parse_num("core", &get("core")?)?,
+            },
+            "anchored" => Response::Anchored {
+                t: parse_num("t", &get("t")?)?,
+                k: parse_num("k", &get("k")?)?,
+                size: parse_num("size", &get("size")?)?,
+                followers: parse_list("followers", &get("followers")?)?,
+            },
+            "followers" => Response::Followers {
+                t: parse_num("t", &get("t")?)?,
+                k: parse_num("k", &get("k")?)?,
+                anchor: parse_num("anchor", &get("anchor")?)?,
+                followers: parse_list("followers", &get("followers")?)?,
+            },
+            "best" => Response::Best {
+                t: parse_num("t", &get("t")?)?,
+                k: parse_num("k", &get("k")?)?,
+                algo: match get("algo")?.as_str() {
+                    "greedy" => BestAlgo::Greedy,
+                    "olak" => BestAlgo::Olak,
+                    other => return Err(format!("unknown algo {other:?} in reply")),
+                },
+                anchors: parse_list("anchors", &get("anchors")?)?,
+                followers: parse_list("followers", &get("followers")?)?,
+                visited: parse_num("visited", &get("visited")?)?,
+                probed: parse_num("probed", &get("probed")?)?,
+            },
+            "stats" => {
+                let opt = |field: &str, value: String| -> Result<Option<u64>, String> {
+                    if value == "-" {
+                        Ok(None)
+                    } else {
+                        parse_num(field, &value).map(Some)
+                    }
+                };
+                Response::Stats {
+                    epochs: parse_num("epochs", &get("epochs")?)?,
+                    served: parse_num("served", &get("served")?)?,
+                    errors: parse_num("errors", &get("errors")?)?,
+                    p50_us: opt("p50us", get("p50us")?)?,
+                    p99_us: opt("p99us", get("p99us")?)?,
+                }
+            }
+            other => return Err(format!("unknown reply kind {other:?}")),
+        };
+        Ok(response)
+    }
+}
+
+/// Encode an executor verdict as the wire line the server writes back.
+pub fn encode_reply(reply: &Result<Response, String>) -> String {
+    match reply {
+        Ok(response) => response.encode(),
+        // Collapse the message onto one line: the protocol is
+        // line-delimited, so an embedded newline would desynchronize the
+        // client.
+        Err(message) => format!("ERR {}", message.replace('\n', " ")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Info,
+            Request::Spectrum,
+            Request::Core(17),
+            Request::Anchored { k: 3, anchors: vec![1, 5, 9] },
+            Request::Anchored { k: 2, anchors: vec![] },
+            Request::Followers { k: 3, anchor: 14 },
+            Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy },
+            Request::Best { k: 4, b: 1, algo: BestAlgo::Olak },
+            Request::Stats,
+        ];
+        for req in cases {
+            assert_eq!(Request::parse(&req.encode()).as_ref(), Ok(&req), "{}", req.encode());
+        }
+    }
+
+    #[test]
+    fn request_keywords_are_case_insensitive() {
+        assert_eq!(Request::parse("core 3"), Ok(Request::Core(3)));
+        assert_eq!(
+            Request::parse("  best 3 2 GREEDY  "),
+            Ok(Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(Request::parse("").unwrap_err().contains("empty"));
+        assert!(Request::parse("NOPE").unwrap_err().contains("unknown request"));
+        assert!(Request::parse("CORE").unwrap_err().contains("1 argument"));
+        assert!(Request::parse("CORE x").unwrap_err().contains("bad vertex"));
+        assert!(Request::parse("BEST 3 2 quantum").unwrap_err().contains("unknown algorithm"));
+        assert!(Request::parse("ANCHORED 3 1,2,x").unwrap_err().contains("anchors element"));
+        let too_many =
+            (0..=MAX_ANCHORS as u32).map(|v| v.to_string()).collect::<Vec<_>>().join(",");
+        assert!(Request::parse(&format!("ANCHORED 3 {too_many}")).unwrap_err().contains("at most"));
+        assert!(Request::parse("BEST 3 9999 greedy").unwrap_err().contains("at most"));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Info { t: 4, n: 100, m: 250, epochs: 4 },
+            Response::Spectrum { t: 1, shells: vec![0, 3, 7] },
+            Response::Core { t: 2, v: 9, core: 3 },
+            Response::Anchored { t: 3, k: 3, size: 12, followers: vec![2, 4, 10] },
+            Response::Anchored { t: 3, k: 5, size: 0, followers: vec![] },
+            Response::Followers { t: 1, k: 3, anchor: 14, followers: vec![13] },
+            Response::Best {
+                t: 7,
+                k: 3,
+                algo: BestAlgo::Olak,
+                anchors: vec![6, 9],
+                followers: vec![4, 5, 7, 8],
+                visited: 321,
+                probed: 45,
+            },
+            Response::Stats {
+                epochs: 9,
+                served: 100,
+                errors: 1,
+                p50_us: Some(40),
+                p99_us: Some(900),
+            },
+            Response::Stats { epochs: 1, served: 0, errors: 0, p50_us: None, p99_us: None },
+        ];
+        for response in cases {
+            let line = response.encode();
+            assert!(line.starts_with("OK "), "{line}");
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::parse(&line).as_ref(), Ok(&response), "{line}");
+        }
+    }
+
+    #[test]
+    fn error_replies_surface_the_message() {
+        let reply: Result<Response, String> = Err("no such vertex\nreally".into());
+        let line = encode_reply(&reply);
+        assert_eq!(line, "ERR no such vertex really", "newlines must be collapsed");
+        assert_eq!(Response::parse(&line), Err("no such vertex really".into()));
+        assert!(Response::parse("gibberish").unwrap_err().contains("malformed"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Service counters: lock-free recording, on-demand percentiles.
+//!
+//! The hot path (every query) touches only atomics — two counter bumps and
+//! one ring-slot store. Percentiles are computed lazily when a `STATS`
+//! request asks, by copying the ring out and sorting the copy, so the cost
+//! lands on the observer rather than on the serving path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of recent latency samples retained for percentile estimates.
+/// A power of two keeps the modulo cheap; 1024 samples bound the estimate
+/// error without the ring ever growing with traffic.
+const RING_SLOTS: usize = 1024;
+
+/// A fixed-size ring of recent latency samples, written lock-free.
+///
+/// Slots hold `micros + 1` so that `0` can mean "never written" — a real
+/// sub-microsecond sample still records as `1`.
+#[derive(Debug)]
+pub struct LatencyRing {
+    slots: Box<[AtomicU64]>,
+    cursor: AtomicUsize,
+}
+
+impl Default for LatencyRing {
+    fn default() -> Self {
+        LatencyRing {
+            slots: (0..RING_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl LatencyRing {
+    /// Record one sample (saturating at `u64::MAX - 1` µs, i.e. never).
+    pub fn record(&self, micros: u64) {
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[at].store(micros.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// The retained samples, in no particular order.
+    pub fn samples(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&s| s > 0)
+            .map(|s| s - 1)
+            .collect()
+    }
+
+    /// The `p`-th percentile (0..=100) of the retained samples, in µs.
+    /// `None` before the first sample.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        percentile_of(&mut self.samples(), p)
+    }
+}
+
+/// Nearest-rank percentile of `samples` (sorted in place). `None` on empty.
+pub fn percentile_of(samples: &mut [u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    Some(samples[rank.clamp(1, samples.len()) - 1])
+}
+
+/// Counters for one running service. All fields are monotone atomics; a
+/// `STATS` response is a point-in-time read, not a consistent snapshot —
+/// by design, reading stats must never stall the serving path.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Queries answered successfully.
+    pub served: AtomicU64,
+    /// Queries rejected (parse errors, bad arguments).
+    pub errors: AtomicU64,
+    /// Latencies of recent queries (success or error), executor-side.
+    pub latency: LatencyRing,
+}
+
+impl ServiceStats {
+    /// Record one finished query.
+    pub fn record(&self, ok: bool, micros: u64) {
+        if ok {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(micros);
+    }
+
+    /// Count a rejection that never reached the executor (a protocol parse
+    /// failure). Bumps the error counter only — no fabricated latency
+    /// sample, so garbage traffic cannot skew the p50/p99 the ring backs.
+    pub fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Queries rejected so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_and_reports() {
+        let ring = LatencyRing::default();
+        assert_eq!(ring.percentile(50.0), None);
+        ring.record(0);
+        assert_eq!(ring.samples(), vec![0], "0 µs is a real sample, not an empty slot");
+        for v in 1..=100u64 {
+            ring.record(v);
+        }
+        assert_eq!(ring.percentile(50.0), Some(50));
+        assert_eq!(ring.percentile(99.0), Some(99));
+        assert_eq!(ring.percentile(100.0), Some(100));
+    }
+
+    #[test]
+    fn ring_wraps_keeping_recent_samples() {
+        let ring = LatencyRing::default();
+        for v in 0..(RING_SLOTS as u64 * 2) {
+            ring.record(v);
+        }
+        let samples = ring.samples();
+        assert_eq!(samples.len(), RING_SLOTS);
+        assert!(samples.iter().all(|&s| s >= RING_SLOTS as u64), "only the recent half remains");
+    }
+
+    #[test]
+    fn percentile_of_edge_cases() {
+        assert_eq!(percentile_of(&mut [], 50.0), None);
+        assert_eq!(percentile_of(&mut [7], 1.0), Some(7));
+        assert_eq!(percentile_of(&mut [7], 99.0), Some(7));
+        let mut two = [10, 20];
+        assert_eq!(percentile_of(&mut two, 50.0), Some(10));
+        assert_eq!(percentile_of(&mut two, 51.0), Some(20));
+    }
+
+    #[test]
+    fn stats_counters_split_ok_and_errors() {
+        let stats = ServiceStats::default();
+        stats.record(true, 5);
+        stats.record(true, 15);
+        stats.record(false, 25);
+        assert_eq!(stats.served(), 2);
+        assert_eq!(stats.errors(), 1);
+        assert_eq!(stats.latency.samples().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless_on_counters() {
+        let stats = std::sync::Arc::new(ServiceStats::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stats = std::sync::Arc::clone(&stats);
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        stats.record(i % 10 != 0, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.served() + stats.errors(), 2000);
+        assert_eq!(stats.errors(), 200);
+    }
+}

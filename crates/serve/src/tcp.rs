@@ -1,0 +1,285 @@
+//! The TCP front-end: newline-delimited protocol over a listener.
+//!
+//! Deliberately thin — every connection gets a handler thread that parses
+//! lines into [`Request`]s and forwards them to the shared [`Service`]
+//! (whose bounded worker pool is where concurrency is actually governed).
+//! The front-end adds only connection-level concerns: a connection cap, an
+//! idle-poll read timeout so handlers notice a shutdown instead of
+//! blocking in `read` forever, and the two connection verbs `QUIT` (close
+//! this connection) and `SHUTDOWN` (drain and stop the whole front-end).
+//!
+//! Shutdown protocol: the handler that reads `SHUTDOWN` acknowledges with
+//! `OK bye`, raises the shared flag, and pokes the listener with a
+//! loopback connect so the blocking `accept` wakes up; the accept loop
+//! then stops accepting and [`TcpFront::run`] returns once every handler
+//! has drained. The caller (the `avt-serve` binary) still owns the
+//! [`Service`] and shuts it down afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::executor::Service;
+use crate::protocol::{encode_reply, Request};
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpFront {
+    /// Concurrent connections before new ones are turned away with
+    /// `ERR busy`.
+    pub max_connections: usize,
+    /// How long a handler blocks in `read` before re-checking the
+    /// shutdown flag. Bounds shutdown latency with idle clients attached.
+    pub idle_poll: Duration,
+}
+
+impl Default for TcpFront {
+    fn default() -> Self {
+        TcpFront { max_connections: 64, idle_poll: Duration::from_millis(250) }
+    }
+}
+
+impl TcpFront {
+    /// Serve `listener` until a client sends `SHUTDOWN` (or the listener
+    /// fails). Blocks the calling thread; handler threads are scoped
+    /// inside, so everything is joined by the time this returns.
+    pub fn run(&self, listener: TcpListener, service: &Service) -> std::io::Result<()> {
+        // The address the shutdown poke connects to: with a wildcard bind
+        // (0.0.0.0 / ::) connecting to the *unspecified* address is not
+        // portable, so poke loopback on the bound port instead.
+        let mut wake = listener.local_addr()?;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                std::net::SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                std::net::SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let shutdown = AtomicBool::new(false);
+        let active = AtomicUsize::new(0);
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            let mut accept_errors = 0u32;
+            loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accept_errors = 0;
+                        stream
+                    }
+                    // A failed accept is usually one doomed connection
+                    // (client reset mid-handshake) or transient pressure
+                    // (fd exhaustion) — neither is a reason to drop every
+                    // live client. Back off and keep serving; only a
+                    // *persistently* failing listener is fatal.
+                    Err(e) => {
+                        accept_errors += 1;
+                        if accept_errors >= 64 {
+                            // Raise the flag before bailing so connection
+                            // handlers drain on their next poll tick —
+                            // otherwise the scope would wait on idle
+                            // clients forever and the error never surface.
+                            shutdown.store(true, Ordering::SeqCst);
+                            break Err(e);
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if shutdown.load(Ordering::Relaxed) {
+                    break Ok(());
+                }
+                if active.load(Ordering::Relaxed) >= self.max_connections {
+                    let mut stream = stream;
+                    let _ = stream.write_all(b"ERR busy: connection limit reached\n");
+                    continue;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                let (shutdown, active) = (&shutdown, &active);
+                let idle_poll = self.idle_poll;
+                scope.spawn(move || {
+                    let wants_shutdown = handle_connection(stream, service, shutdown, idle_poll);
+                    active.fetch_sub(1, Ordering::Relaxed);
+                    if wants_shutdown {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Wake the blocking accept so the loop observes the
+                        // flag; a failed poke just means someone else
+                        // already woke it (or the listener died).
+                        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+                    }
+                });
+            }
+        })
+    }
+}
+
+/// Drive one connection. Returns true when this client requested a
+/// service-wide shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    shutdown: &AtomicBool,
+    idle_poll: Duration,
+) -> bool {
+    // The read timeout is the shutdown-latency bound, not a client
+    // deadline: on timeout we re-check the flag and keep reading.
+    if stream.set_read_timeout(Some(idle_poll)).is_err() {
+        return false;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` appends to `line`, so a read split by the poll
+        // timeout accumulates across iterations instead of losing bytes.
+        match reader.read_line(&mut line) {
+            Ok(0) => return false, // client closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    return false;
+                }
+                continue;
+            }
+            Err(_) => return false,
+        }
+        // Re-check between requests too: a client streaming back-to-back
+        // queries never hits the timeout branch, and "drain" must not
+        // mean "wait for every busy client to leave voluntarily".
+        if shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        let request = line.trim();
+        let verdict = match request.to_ascii_uppercase().as_str() {
+            "" => None, // blank keep-alive line
+            "QUIT" => return false,
+            "SHUTDOWN" => {
+                let _ = writer.write_all(b"OK bye\n");
+                return true;
+            }
+            _ => Some(match Request::parse(request) {
+                Ok(request) => service.query(request),
+                Err(message) => {
+                    // Protocol rejections count as errors too — a client
+                    // hammering garbage should show up in STATS (but not
+                    // in the latency ring; nothing was executed).
+                    service.stats().note_error();
+                    Err(message)
+                }
+            }),
+        };
+        line.clear();
+        if let Some(reply) = verdict {
+            let mut out = encode_reply(&reply);
+            out.push('\n');
+            if writer.write_all(out.as_bytes()).is_err() {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ServiceConfig;
+    use crate::protocol::Response;
+    use crate::timeline::LiveTimeline;
+    use avt_graph::Graph;
+    use std::sync::Arc;
+
+    fn triangle_service() -> Service {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 0)]).unwrap();
+        Service::start(Arc::new(LiveTimeline::new(g)), ServiceConfig::default())
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: std::net::SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect to test server");
+            let writer = stream.try_clone().unwrap();
+            Client { reader: BufReader::new(stream), writer }
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            self.writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let service = triangle_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let front = scope.spawn(|| {
+                TcpFront { idle_poll: Duration::from_millis(20), ..Default::default() }
+                    .run(listener, &service)
+                    .unwrap();
+            });
+
+            let mut client = Client::connect(addr);
+            let reply = client.roundtrip("CORE 0");
+            assert_eq!(
+                Response::parse(&reply),
+                Ok(Response::Core { t: 1, v: 0, core: 2 }),
+                "{reply}"
+            );
+            let reply = client.roundtrip("SPECTRUM");
+            assert_eq!(
+                Response::parse(&reply),
+                Ok(Response::Spectrum { t: 1, shells: vec![0, 1, 3] })
+            );
+            // Garbage gets an ERR and the connection stays usable.
+            assert!(client.roundtrip("FROBNICATE").starts_with("ERR "));
+            assert!(client.roundtrip("CORE 99").starts_with("ERR "));
+            assert!(client.roundtrip("INFO").starts_with("OK info"));
+
+            // A second client sees the same service; QUIT only closes it.
+            let mut second = Client::connect(addr);
+            assert!(second.roundtrip("STATS").starts_with("OK stats"));
+            second.writer.write_all(b"QUIT\n").unwrap();
+            let mut eof = String::new();
+            assert_eq!(second.reader.read_line(&mut eof).unwrap(), 0, "QUIT closes");
+
+            assert_eq!(client.roundtrip("SHUTDOWN"), "OK bye");
+            front.join().expect("front-end thread");
+        });
+        assert_eq!(service.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let service = triangle_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let front = scope.spawn(|| {
+                TcpFront { idle_poll: Duration::from_millis(20), ..Default::default() }
+                    .run(listener, &service)
+                    .unwrap();
+            });
+            let mut client = Client::connect(addr);
+            client.writer.write_all(b"\n\n").unwrap();
+            // The next real request is answered first — blanks produced no
+            // reply lines.
+            assert!(client.roundtrip("INFO").starts_with("OK info"));
+            client.roundtrip("SHUTDOWN");
+            front.join().unwrap();
+        });
+        assert_eq!(service.shutdown().worker_panics, 0);
+    }
+}

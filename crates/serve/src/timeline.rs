@@ -1,0 +1,369 @@
+//! The live writer path: batches in, epoch-published frozen frames out.
+//!
+//! A [`LiveTimeline`] is the online counterpart of the offline
+//! [`EvolvingGraph`] replay: instead of a finished batch script walked
+//! after the fact, updates arrive *while queries are being served*. The
+//! two sides meet at the epoch boundary:
+//!
+//! * the **writer** applies each [`EdgeBatch`] twice, through the two
+//!   machines that already exist for exactly these jobs —
+//!   [`CsrGraph::apply_batch`] derives the next frozen frame functionally
+//!   (one merge pass, also validating the batch up front), and
+//!   [`MaintainedCore`] repairs the K-order incrementally (§5.2 of the
+//!   paper), which both keeps core numbers O(1)-queryable and yields the
+//!   promoted/demoted [`ChangeSet`] per epoch;
+//! * **publication** swaps one `Arc<EpochFrame>` pointer. Readers grab the
+//!   current epoch with a refcount bump and from then on share the frozen
+//!   [`CsrGraph`] and its core array with every other reader, zero-copy:
+//!   a reader is never invalidated, never blocked by other readers, and
+//!   never sees a half-applied batch — it simply keeps the epoch it
+//!   started with until it asks again.
+//!
+//! Because the writer records the batch history, a `LiveTimeline` is also
+//! a [`FrameSource`]: the stream served online can be replayed through the
+//! offline execution engine (or spilled to a `.csrbin` directory with
+//! [`LiveTimeline::spill`]) for audit — the service-vs-offline equivalence
+//! tests are built on exactly this round trip.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use avt_graph::{
+    CsrGraph, EdgeBatch, EvolvingGraph, FrameSource, Graph, GraphError, MmapFrames, VertexId,
+};
+use avt_kcore::{ChangeSet, MaintainedCore};
+
+/// One published epoch: the frozen frame plus the core numbers the writer
+/// maintained for it. Immutable once published; readers share it by `Arc`.
+#[derive(Debug)]
+pub struct EpochFrame {
+    /// 1-based epoch index (equals the snapshot index `t` of the replay).
+    pub t: usize,
+    /// The frozen snapshot `G_t`.
+    pub frame: Arc<CsrGraph>,
+    /// Core number of every vertex at this epoch, from the writer's
+    /// incrementally maintained K-order — consistent with `frame` by
+    /// construction, so `CORE` queries never pay a decomposition.
+    pub cores: Arc<[u32]>,
+    /// Shell histogram of `cores` (`shells[c]` = vertices with core
+    /// exactly `c`), derived once at publication so `SPECTRUM` queries
+    /// are a copy of O(degeneracy) counters, not an O(n) rescan each.
+    pub shells: Vec<usize>,
+}
+
+impl EpochFrame {
+    /// Assemble an epoch, deriving the shell histogram from `cores`.
+    fn assemble(t: usize, frame: Arc<CsrGraph>, cores: Arc<[u32]>) -> EpochFrame {
+        let shells = avt_kcore::CoreSpectrum::from_cores(&cores).shells().to_vec();
+        EpochFrame { t, frame, cores, shells }
+    }
+
+    /// Core number of `v` at this epoch (0 for out-of-range ids).
+    pub fn core(&self, v: VertexId) -> u32 {
+        self.cores.get(v as usize).copied().unwrap_or(0)
+    }
+}
+
+/// What one [`LiveTimeline::apply_batch`] produced.
+#[derive(Debug)]
+pub struct EpochReport {
+    /// The epoch that was just published.
+    pub epoch: Arc<EpochFrame>,
+    /// Vertices whose core number changed, from the maintenance layer.
+    pub changes: ChangeSet,
+}
+
+/// Writer-side state, guarded by one mutex: there is exactly one logical
+/// writer, and batch application must see a consistent (graph, K-order,
+/// history) triple.
+#[derive(Debug)]
+struct Writer {
+    maintained: MaintainedCore,
+    history: EvolvingGraph,
+    frame: Arc<CsrGraph>,
+}
+
+/// A live evolving graph with epoch-published snapshots.
+///
+/// # Example
+///
+/// ```
+/// use avt_graph::{EdgeBatch, Graph};
+/// use avt_serve::LiveTimeline;
+///
+/// let tl = LiveTimeline::new(Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap());
+/// assert_eq!(tl.current().t, 1);
+/// tl.apply_batch(EdgeBatch::from_pairs([(2, 3)], [])).unwrap();
+/// let epoch = tl.current();
+/// assert_eq!(epoch.t, 2);
+/// assert!(epoch.frame.has_edge(2, 3));
+/// ```
+#[derive(Debug)]
+pub struct LiveTimeline {
+    writer: Mutex<Writer>,
+    /// The published epoch. Readers hold the lock only for an `Arc` clone
+    /// (a refcount bump); the writer only for the pointer swap. The frame
+    /// data itself is never behind the lock.
+    published: RwLock<Arc<EpochFrame>>,
+    epochs: AtomicU64,
+}
+
+impl LiveTimeline {
+    /// Start a timeline at epoch 1 = `initial`.
+    pub fn new(initial: Graph) -> Self {
+        let frame = Arc::new(CsrGraph::from_graph(&initial));
+        let maintained = MaintainedCore::new(initial.clone());
+        let epoch = Arc::new(EpochFrame::assemble(
+            1,
+            Arc::clone(&frame),
+            maintained.korder().core_slice().into(),
+        ));
+        LiveTimeline {
+            writer: Mutex::new(Writer { maintained, history: EvolvingGraph::new(initial), frame }),
+            published: RwLock::new(epoch),
+            epochs: AtomicU64::new(1),
+        }
+    }
+
+    /// Shared vertex-set size (fixed for the timeline's lifetime, like the
+    /// paper's evolving-graph model).
+    pub fn num_vertices(&self) -> usize {
+        self.writer.lock().expect("writer lock poisoned").history.num_vertices()
+    }
+
+    /// Apply one edge batch, advance `t`, and publish the new epoch.
+    ///
+    /// The batch is validated against the current frame *before* any state
+    /// changes ([`CsrGraph::apply_batch`] is functional), so a rejected
+    /// batch — duplicate insert, deleting an absent edge, out-of-range
+    /// endpoint — leaves the timeline exactly where it was and readers
+    /// never observe it.
+    pub fn apply_batch(&self, batch: EdgeBatch) -> Result<EpochReport, GraphError> {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        // Derive-and-validate first; only a clean batch reaches the
+        // incremental maintenance below.
+        let next = Arc::new(w.frame.apply_batch(&batch)?);
+        let changes = w
+            .maintained
+            .apply_batch(&batch)
+            .expect("batch already validated against the published frame");
+        w.history.push_batch(batch);
+        w.frame = Arc::clone(&next);
+        let epoch = Arc::new(EpochFrame::assemble(
+            w.history.num_snapshots(),
+            next,
+            w.maintained.korder().core_slice().into(),
+        ));
+        *self.published.write().expect("publish lock poisoned") = Arc::clone(&epoch);
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        Ok(EpochReport { epoch, changes })
+    }
+
+    /// The current epoch: a shared handle to the latest published frame.
+    /// Cheap (one refcount bump) and safe to call from any thread at any
+    /// time; the returned epoch stays valid however far the writer moves
+    /// on.
+    pub fn current(&self) -> Arc<EpochFrame> {
+        Arc::clone(&self.published.read().expect("publish lock poisoned"))
+    }
+
+    /// Number of epochs published so far (equals the current `t`).
+    pub fn epochs_published(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative vertices visited by the writer's maintenance re-peels
+    /// (the paper's "visited vertices" counter, here for the write path).
+    pub fn maintenance_visited(&self) -> u64 {
+        self.writer.lock().expect("writer lock poisoned").maintained.visited_vertices()
+    }
+
+    /// A frozen copy of the full batch history as an offline
+    /// [`EvolvingGraph`] — the audit/replay currency. O(n + m + total
+    /// churn).
+    pub fn freeze(&self) -> EvolvingGraph {
+        self.writer.lock().expect("writer lock poisoned").history.clone()
+    }
+
+    /// Spill the history so far into `dir` as a `.csrbin` frame directory
+    /// (see [`MmapFrames::spill`]) — the on-disk audit trail, replayable by
+    /// the offline engine without this process.
+    pub fn spill(&self, dir: &std::path::Path) -> Result<MmapFrames, GraphError> {
+        MmapFrames::spill(&self.freeze(), dir)
+    }
+}
+
+/// Replaying a live timeline walks the history as of the call: each call
+/// to [`FrameSource::iter_frames`] clones the batch history under the
+/// writer lock (a consistent prefix) and derives the frames from the
+/// clone.
+///
+/// The sequential engine runner tolerates a writer appending mid-replay
+/// (it simply replays the prefix the walk started with); the *pipelined*
+/// runner checks `num_frames` against delivered reports, so replay a
+/// quiesced timeline — or [`LiveTimeline::freeze`] first — when driving
+/// it.
+impl FrameSource for LiveTimeline {
+    type Frame = CsrGraph;
+
+    fn num_frames(&self) -> usize {
+        self.writer.lock().expect("writer lock poisoned").history.num_snapshots()
+    }
+
+    fn iter_frames(&self) -> impl Iterator<Item = (usize, Arc<Self::Frame>)> + Send + '_ {
+        OwnedFrameIter { evolving: self.freeze(), current: None, next_t: 1 }
+    }
+}
+
+/// Owning variant of [`avt_graph::EvolvingGraph::frames_arc`]'s iterator:
+/// holds the cloned history itself, so the walk outlives the lock it was
+/// snapshotted under.
+struct OwnedFrameIter {
+    evolving: EvolvingGraph,
+    current: Option<Arc<CsrGraph>>,
+    next_t: usize,
+}
+
+impl Iterator for OwnedFrameIter {
+    type Item = (usize, Arc<CsrGraph>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let t = self.next_t;
+        if t > self.evolving.num_snapshots() {
+            return None;
+        }
+        let frame = match &self.current {
+            None => Arc::new(CsrGraph::from_graph(self.evolving.initial())),
+            Some(prev) => {
+                let batch = self.evolving.batch(t - 1).expect("batch exists below num_snapshots");
+                Arc::new(prev.apply_batch(batch).expect("live history batches applied cleanly"))
+            }
+        };
+        self.current = Some(Arc::clone(&frame));
+        self.next_t += 1;
+        Some((t, frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avt_kcore::decompose::CoreDecomposition;
+
+    fn start() -> LiveTimeline {
+        LiveTimeline::new(Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 0)]).unwrap())
+    }
+
+    #[test]
+    fn publishes_initial_epoch() {
+        let tl = start();
+        let e = tl.current();
+        assert_eq!(e.t, 1);
+        assert_eq!(tl.epochs_published(), 1);
+        assert_eq!(e.frame.num_edges(), 4);
+        assert_eq!(e.core(0), 2);
+        assert_eq!(e.core(3), 1);
+        assert_eq!(e.core(4), 0);
+        assert_eq!(e.core(99), 0, "out-of-range ids read as core 0");
+    }
+
+    #[test]
+    fn apply_batch_advances_and_maintains_cores() {
+        let tl = start();
+        // Tie 3 and 4 into the triangle: 3 gains a second core link.
+        let report = tl.apply_batch(EdgeBatch::from_pairs([(3, 1), (4, 0), (4, 3)], [])).unwrap();
+        assert_eq!(report.epoch.t, 2);
+        assert!(report.changes.promoted.contains(&3));
+        let e = tl.current();
+        // Maintained cores equal a from-scratch decomposition of the frame.
+        let fresh = CoreDecomposition::compute(e.frame.as_ref());
+        assert_eq!(&e.cores[..], fresh.cores());
+    }
+
+    #[test]
+    fn bad_batch_is_rejected_atomically() {
+        let tl = start();
+        let before = tl.current();
+        // Second insertion duplicates an existing edge: the whole batch
+        // must bounce with no epoch published.
+        assert!(tl.apply_batch(EdgeBatch::from_pairs([(3, 4), (0, 1)], [])).is_err());
+        assert!(tl.apply_batch(EdgeBatch::from_pairs([], [(2, 4)])).is_err());
+        let after = tl.current();
+        assert_eq!(after.t, before.t);
+        assert_eq!(tl.epochs_published(), 1);
+        assert!(!after.frame.has_edge(3, 4), "rejected insert must not leak");
+        // And the next clean batch applies on the unpolluted state.
+        assert_eq!(tl.apply_batch(EdgeBatch::from_pairs([(3, 4)], [])).unwrap().epoch.t, 2);
+    }
+
+    #[test]
+    fn readers_keep_their_epoch_across_writes() {
+        let tl = start();
+        let old = tl.current();
+        tl.apply_batch(EdgeBatch::from_pairs([(3, 4)], [(0, 1)])).unwrap();
+        // The old epoch is untouched; the new one reflects the batch.
+        assert!(old.frame.has_edge(0, 1));
+        assert!(!old.frame.has_edge(3, 4));
+        let new = tl.current();
+        assert!(!new.frame.has_edge(0, 1));
+        assert!(new.frame.has_edge(3, 4));
+    }
+
+    #[test]
+    fn frame_source_replays_the_history() {
+        let tl = start();
+        tl.apply_batch(EdgeBatch::from_pairs([(3, 4)], [])).unwrap();
+        tl.apply_batch(EdgeBatch::from_pairs([(4, 1)], [(3, 0)])).unwrap();
+        assert_eq!(FrameSource::num_frames(&tl), 3);
+        let walked: Vec<_> = tl.iter_frames().map(|(t, f)| (t, f.num_edges())).collect();
+        assert_eq!(walked, vec![(1, 4), (2, 5), (3, 5)]);
+        // The frozen history round-trips through the offline model.
+        let frozen = tl.freeze();
+        assert_eq!(frozen.num_snapshots(), 3);
+        frozen.validate().unwrap();
+    }
+
+    #[test]
+    fn spill_writes_a_replayable_frame_directory() {
+        let tl = start();
+        tl.apply_batch(EdgeBatch::from_pairs([(3, 4)], [])).unwrap();
+        let dir = std::env::temp_dir().join(format!("avt_serve_spill_{}", std::process::id()));
+        let frames = tl.spill(&dir).unwrap();
+        assert_eq!(frames.num_frames(), 2);
+        assert_eq!(frames.frame(2).unwrap().num_edges(), 5);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let tl = Arc::new(start());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let tl = Arc::clone(&tl);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let e = tl.current();
+                        // Every observed epoch is internally consistent.
+                        let fresh = CoreDecomposition::compute(e.frame.as_ref());
+                        assert_eq!(&e.cores[..], fresh.cores(), "epoch {}", e.t);
+                    }
+                });
+            }
+            let mut flip = true;
+            for _ in 0..40 {
+                let batch = if flip {
+                    EdgeBatch::from_pairs([(3, 4), (4, 1)], [])
+                } else {
+                    EdgeBatch::from_pairs([], [(3, 4), (4, 1)])
+                };
+                tl.apply_batch(batch).unwrap();
+                flip = !flip;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(tl.epochs_published(), 41);
+        assert_eq!(tl.current().t, 41);
+    }
+}

@@ -1,0 +1,103 @@
+//! The online story: the Figure 1 reading-hobby community, served live.
+//!
+//! ```text
+//! cargo run --example live_service
+//! ```
+//!
+//! Embeds the in-process query service (no TCP): a [`LiveTimeline`] starts
+//! at the paper's `G_1`, Figure-1-style churn batches stream in epoch by
+//! epoch, and after each publication the service is asked "who should we
+//! anchor *right now*, and who is engaged?" — printing how the anchored
+//! 3-core membership shifts as friendships form and break. This is the
+//! quickstart for `avt-serve`; the binary of the same name puts a TCP
+//! front-end and a churn writer thread around exactly these pieces.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use avt::datasets::figure1::{self, u};
+use avt::graph::{EdgeBatch, VertexId};
+use avt_serve::{BestAlgo, LiveTimeline, Request, Response, Service, ServiceConfig};
+
+fn label(v: VertexId) -> String {
+    format!("u{}", v + 1)
+}
+
+fn labels<'a>(vs: impl IntoIterator<Item = &'a VertexId>) -> String {
+    let out: Vec<String> = vs.into_iter().map(|&v| label(v)).collect();
+    if out.is_empty() {
+        "(none)".into()
+    } else {
+        out.join(", ")
+    }
+}
+
+fn main() {
+    // The paper's two snapshots, extended with two more epochs of churn in
+    // the same spirit: old ties resurface, others break.
+    let mut stream = figure1::evolving();
+    // t=3: u2 and u11 reconnect; u15 drifts from u16.
+    stream.push_batch(EdgeBatch::from_pairs([(u(2), u(11))], [(u(15), u(16))]));
+    // t=4: the u15-u16 tie re-forms and u4 befriends u16; the young
+    // u2-u5 friendship breaks.
+    stream.push_batch(EdgeBatch::from_pairs([(u(15), u(16)), (u(4), u(16))], [(u(2), u(5))]));
+
+    let timeline = Arc::new(LiveTimeline::new(stream.initial().clone()));
+    let service = Service::start(Arc::clone(&timeline), ServiceConfig::default());
+    let (k, budget) = (3, 2);
+    println!("Live anchored-core tracking of the Figure 1 community (k = {k}, b = {budget}):\n");
+
+    let mut previous: Option<BTreeSet<VertexId>> = None;
+    for t in 1..=stream.num_snapshots() {
+        if t > 1 {
+            let batch = stream.batch(t - 1).expect("scripted batch exists").clone();
+            let report = timeline.apply_batch(batch).expect("scripted churn applies cleanly");
+            assert_eq!(report.epoch.t, t);
+        }
+
+        // "Best anchors right now?" — the Greedy solve on the current
+        // epoch, straight through the query executor.
+        let Ok(Response::Best { anchors, followers, visited, .. }) =
+            service.query(Request::Best { k, b: budget, algo: BestAlgo::Greedy })
+        else {
+            panic!("BEST query failed")
+        };
+
+        // Engaged community = k-core members + anchors + their followers.
+        // Membership is assembled from CORE lookups — each O(1) against
+        // the epoch's published core array.
+        let mut members: BTreeSet<VertexId> = anchors.iter().chain(&followers).copied().collect();
+        for v in 0..figure1::N as VertexId {
+            let Ok(Response::Core { core, .. }) = service.query(Request::Core(v)) else {
+                panic!("CORE query failed")
+            };
+            if core >= k {
+                members.insert(v);
+            }
+        }
+
+        println!("epoch t={t}:");
+        println!("  anchors   {}  (followers: {})", labels(&anchors), labels(&followers));
+        println!(
+            "  community {} engaged users ({} vertices visited answering)",
+            members.len(),
+            visited
+        );
+        match &previous {
+            None => println!("  members   {}", labels(&members)),
+            Some(prev) => {
+                let joined: Vec<VertexId> = members.difference(prev).copied().collect();
+                let left: Vec<VertexId> = prev.difference(&members).copied().collect();
+                println!("  joined    {}", labels(&joined));
+                println!("  left      {}", labels(&left));
+            }
+        }
+        previous = Some(members);
+    }
+
+    let Ok(Response::Stats { epochs, served, errors, .. }) = service.query(Request::Stats) else {
+        panic!("STATS query failed")
+    };
+    println!("\nservice: {epochs} epochs published, {served} queries served, {errors} errors");
+    assert_eq!(service.shutdown().worker_panics, 0);
+}
