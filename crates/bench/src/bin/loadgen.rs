@@ -1,33 +1,55 @@
-//! `loadgen`: concurrent TCP load generator for `avt-serve`.
+//! `loadgen`: TCP load generator for `avt-serve`, closed- and open-loop.
 //!
 //! ```text
-//! loadgen [--addr 127.0.0.1:7171] [--clients 4] [--requests 200]
-//!         [--seed 42] [--quick] [--shutdown]
+//! loadgen [--addr 127.0.0.1:7171] [--codec text|binary] [--seed 42]
+//!         [--clients 4] [--requests 200]            # closed loop
+//!         [--offered-qps Q] [--connections 256]     # open loop
+//!         [--quick] [--shutdown]
 //! ```
 //!
-//! Drives `--clients` concurrent connections, each issuing `--requests`
-//! queries drawn from a deterministic mix (core lookups, spectra, follower
-//! and anchored-core queries, Greedy-vs-OLAK best-anchor solves), and
-//! reports aggregate QPS plus client-observed latency percentiles. The
-//! degree threshold `k` is calibrated from the server's own `SPECTRUM`
-//! reply, so the mix stays meaningful at any dataset scale.
+//! Two measurement modes:
+//!
+//! * **Closed loop** (default): `--clients` threads, each with one
+//!   connection, each issuing `--requests` queries back to back and
+//!   timing each round trip. Simple, but the classic *coordinated
+//!   omission* trap: a slow reply delays every later request, so the
+//!   client unconsciously stops measuring exactly when the server
+//!   struggles.
+//! * **Open loop** (`--offered-qps`): requests fire on a fixed arrival
+//!   schedule — request *i* is due at `start + i/Q` — multiplexed
+//!   nonblockingly over `--connections` pipelined connections from one
+//!   thread (the same `epoll` machinery the server's event loop uses;
+//!   Linux only). Latency is measured from the *scheduled* send time, so
+//!   queueing the server causes shows up in the tail instead of silently
+//!   stretching the schedule, and the report states achieved-vs-offered
+//!   QPS so saturation is visible. `--requests` is the *total* request
+//!   count in this mode (default: five seconds' worth).
+//!
+//! Both modes speak either wire format (`--codec`): the newline text
+//! protocol or the length-prefixed binary one, through the same
+//! [`avt_serve::Codec`] trait the server uses. The request mix is
+//! deterministic (core lookups, spectra, follower and anchored-core
+//! queries, Greedy-vs-OLAK best-anchor solves) and the degree threshold
+//! `k` is calibrated from the server's own `SPECTRUM` reply.
 //!
 //! `--quick` is the CI smoke setting (2 clients × 40 requests);
-//! `--shutdown` sends `SHUTDOWN` after the run so a scripted
+//! `--shutdown` sends the shutdown verb after the run so a scripted
 //! `avt-serve … & loadgen --quick --shutdown; wait` tears the server down
 //! cleanly. Connection attempts retry for a few seconds, so the generator
 //! can be launched in parallel with the server.
 //!
-//! Exit status: 0 when every client completed with > 0 successful queries
-//! and zero protocol errors; 1 otherwise.
+//! Exit status: 0 when every request completed with > 0 successful
+//! queries and zero protocol errors; 1 otherwise.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use avt_serve::codec::{Codec, TextCodec};
 use avt_serve::protocol::{BestAlgo, Request, Response};
 use avt_serve::stats::percentile_of;
+use avt_serve::BinaryCodec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,20 +58,32 @@ usage: loadgen [options]
 
 options:
   --addr HOST:PORT  server address               (default 127.0.0.1:7171)
-  --clients N       concurrent connections       (default 4)
-  --requests R      queries per client           (default 200)
+  --codec KIND      wire format: text | binary   (default text)
+  --clients N       closed loop: concurrent connections      (default 4)
+  --requests R      closed loop: queries per client          (default 200)
+                    open loop: total queries                 (default 5s worth)
+  --offered-qps Q   open loop: fixed arrival rate across all connections
+                    (enables open-loop mode; Linux only)
+  --connections N   open loop: multiplexed connections       (default 256)
   --seed N          request-mix seed             (default 42)
   --quick           CI smoke: 2 clients x 40 requests (explicit flags
                     override it, in any order)
-  --shutdown        send SHUTDOWN to the server after the run
+  --shutdown        send the shutdown verb to the server after the run
 ";
+
+static TEXT: TextCodec = TextCodec;
+static BINARY: BinaryCodec = BinaryCodec;
 
 struct Args {
     addr: String,
     clients: usize,
-    requests: usize,
+    requests: Option<usize>,
     seed: u64,
     shutdown: bool,
+    codec: &'static (dyn Codec + 'static),
+    offered_qps: Option<f64>,
+    connections: usize,
+    quick: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,9 +93,13 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7171".into(),
         clients: if quick { 2 } else { 4 },
-        requests: if quick { 40 } else { 200 },
+        requests: None,
         seed: 42,
         shutdown,
+        codec: &TEXT,
+        offered_qps: None,
+        connections: 256,
+        quick,
     };
     let mut it = raw.iter().filter(|a| *a != "--quick" && *a != "--shutdown");
     while let Some(flag) = it.next() {
@@ -71,30 +109,56 @@ fn parse_args() -> Result<Args, String> {
         let value = it.next().ok_or_else(|| format!("missing value for {flag}\n{USAGE}"))?;
         match flag.as_str() {
             "--addr" => args.addr = value.clone(),
+            "--codec" => {
+                args.codec = match value.as_str() {
+                    "text" => &TEXT,
+                    "binary" => &BINARY,
+                    other => return Err(format!("--codec must be text or binary, got {other}")),
+                }
+            }
             "--clients" => args.clients = value.parse().map_err(|e| format!("--clients: {e}"))?,
             "--requests" => {
-                args.requests = value.parse().map_err(|e| format!("--requests: {e}"))?
+                args.requests = Some(value.parse().map_err(|e| format!("--requests: {e}"))?)
+            }
+            "--offered-qps" => {
+                args.offered_qps = Some(value.parse().map_err(|e| format!("--offered-qps: {e}"))?)
+            }
+            "--connections" => {
+                args.connections = value.parse().map_err(|e| format!("--connections: {e}"))?
             }
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
-    if args.clients == 0 || args.requests == 0 {
-        return Err("--clients and --requests must be at least 1".into());
+    let closed_requests = args.requests.unwrap_or(if args.quick { 40 } else { 200 });
+    if args.clients == 0 || closed_requests == 0 || args.connections == 0 {
+        return Err("--clients, --requests, and --connections must be at least 1".into());
+    }
+    if let Some(q) = args.offered_qps {
+        if q <= 0.0 || !q.is_finite() {
+            return Err("--offered-qps must be positive".into());
+        }
     }
     Ok(args)
 }
 
-/// One protocol connection: write a request line, read a response line.
+/// One synchronous protocol connection over any codec: write a request
+/// frame, read the matching reply frame.
 struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    codec: &'static (dyn Codec + 'static),
+    next_id: u64,
 }
 
 impl Client {
     /// Connect with retries — the server may still be binding when a
     /// scripted run launches both sides together.
-    fn connect(addr: &str, patience: Duration) -> Result<Client, String> {
+    fn connect(
+        addr: &str,
+        patience: Duration,
+        codec: &'static (dyn Codec + 'static),
+    ) -> Result<Client, String> {
         let deadline = Instant::now() + patience;
         loop {
             match TcpStream::connect(addr) {
@@ -105,8 +169,7 @@ impl Client {
                     stream
                         .set_read_timeout(Some(Duration::from_secs(30)))
                         .map_err(|e| format!("set read timeout: {e}"))?;
-                    let writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
-                    return Ok(Client { reader: BufReader::new(stream), writer });
+                    return Ok(Client { stream, rbuf: Vec::new(), codec, next_id: 0 });
                 }
                 Err(e) if Instant::now() < deadline => {
                     let _ = e;
@@ -117,23 +180,50 @@ impl Client {
         }
     }
 
-    fn roundtrip(&mut self, request: &Request) -> Result<Response, String> {
-        let mut line = request.encode();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes()).map_err(|e| format!("write: {e}"))?;
-        let mut reply = String::new();
-        match self.reader.read_line(&mut reply) {
-            Ok(0) => Err("server closed the connection".into()),
-            Ok(_) => Response::parse(&reply),
-            Err(e) => Err(format!("read: {e}")),
+    /// Read until one whole frame is buffered, then consume it.
+    fn read_frame(&mut self) -> Result<Vec<u8>, String> {
+        loop {
+            if let Some(len) = self.codec.decode_frame(&self.rbuf)? {
+                return Ok(self.rbuf.drain(..len).collect());
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err("server closed the connection".into()),
+                Ok(n) => self.rbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("read: {e}")),
+            }
         }
     }
 
-    fn send_raw(&mut self, verb: &str) -> Result<String, String> {
-        self.writer.write_all(format!("{verb}\n").as_bytes()).map_err(|e| format!("write: {e}"))?;
-        let mut reply = String::new();
-        self.reader.read_line(&mut reply).map_err(|e| format!("read: {e}"))?;
-        Ok(reply.trim_end().to_string())
+    fn call(&mut self, request: &Request) -> Result<Response, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut wire = Vec::new();
+        self.codec.encode_request(id, request, &mut wire);
+        self.stream.write_all(&wire).map_err(|e| format!("write: {e}"))?;
+        let frame = self.read_frame()?;
+        let (got, reply) = self.codec.decode_response(&frame)?;
+        if let Some(got) = got {
+            if got != id {
+                return Err(format!("reply id {got} for request id {id}"));
+            }
+        }
+        reply
+    }
+
+    /// Send the shutdown verb; expect the `bye` acknowledgement.
+    fn shutdown(&mut self) -> Result<(), String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut wire = Vec::new();
+        self.codec.encode_shutdown(id, &mut wire);
+        self.stream.write_all(&wire).map_err(|e| format!("write: {e}"))?;
+        let frame = self.read_frame()?;
+        match self.codec.decode_response(&frame)? {
+            (_, Ok(Response::Bye)) => Ok(()),
+            (_, other) => Err(format!("unexpected shutdown reply {other:?}")),
+        }
     }
 }
 
@@ -174,19 +264,20 @@ fn pick_request(rng: &mut SmallRng, n: usize, k: u32) -> Request {
 
 fn run_client(
     addr: &str,
+    codec: &'static (dyn Codec + 'static),
     requests: usize,
     n: usize,
     k: u32,
     seed: u64,
 ) -> Result<ClientOutcome, String> {
-    let mut client = Client::connect(addr, Duration::from_secs(10))?;
+    let mut client = Client::connect(addr, Duration::from_secs(10), codec)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut outcome =
         ClientOutcome { ok: 0, errors: 0, latencies_us: Vec::with_capacity(requests) };
     for _ in 0..requests {
         let request = pick_request(&mut rng, n, k);
         let start = Instant::now();
-        match client.roundtrip(&request) {
+        match client.call(&request) {
             Ok(_) => {
                 // Only successful round trips feed the percentiles —
                 // a failed request measured nothing (mirrors the
@@ -196,16 +287,230 @@ fn run_client(
             }
             Err(message) => {
                 outcome.errors += 1;
-                eprintln!("loadgen: request {:?} failed: {message}", request.encode());
+                eprintln!("loadgen: request {request:?} failed: {message}");
                 // A failed round trip (timeout, torn read) leaves the
                 // connection possibly desynchronized — a late reply would
                 // pair with the *next* request. Reconnect to restore the
-                // one-line-in/one-line-out invariant before continuing.
-                client = Client::connect(addr, Duration::from_secs(5))?;
+                // frame-in/frame-out pairing before continuing.
+                client = Client::connect(addr, Duration::from_secs(5), codec)?;
             }
         }
     }
     Ok(outcome)
+}
+
+/// The open-loop engine: a fixed arrival schedule multiplexed over many
+/// pipelined nonblocking connections from one thread. Linux only — it
+/// reuses the server's `epoll` wrapper.
+#[cfg(target_os = "linux")]
+mod open_loop {
+    use super::{pick_request, Codec, Duration, Instant, Read, TcpStream, Write};
+    use avt_serve::Poller;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::VecDeque;
+
+    pub struct Config<'a> {
+        pub addr: &'a str,
+        pub codec: &'static (dyn Codec + 'static),
+        pub connections: usize,
+        pub total: usize,
+        pub offered_qps: f64,
+        pub seed: u64,
+        pub n: usize,
+        pub k: u32,
+    }
+
+    pub struct Outcome {
+        pub completed: u64,
+        pub errors: u64,
+        /// Latency of each success, measured from the request's
+        /// *scheduled* send time.
+        pub latencies_us: Vec<u64>,
+        pub wall: Duration,
+    }
+
+    struct OConn {
+        stream: TcpStream,
+        rbuf: Vec<u8>,
+        wbuf: Vec<u8>,
+        /// Global request indices in flight, in send order (how ordered
+        /// codecs pair replies; binary replies carry the index as id).
+        sent: VecDeque<u64>,
+        interest: (bool, bool),
+    }
+
+    pub fn run(cfg: &Config<'_>) -> Result<Outcome, String> {
+        let mut conns = Vec::with_capacity(cfg.connections);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for _ in 0..cfg.connections {
+            let stream = loop {
+                match TcpStream::connect(cfg.addr) {
+                    Ok(s) => break s,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(e) => return Err(format!("connect {}: {e}", cfg.addr)),
+                }
+            };
+            stream.set_nonblocking(true).map_err(|e| format!("set nonblocking: {e}"))?;
+            conns.push(OConn {
+                stream,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                sent: VecDeque::new(),
+                interest: (true, false),
+            });
+        }
+        let poller = Poller::new().map_err(|e| format!("epoll: {e}"))?;
+        for (token, conn) in conns.iter().enumerate() {
+            use std::os::unix::io::AsRawFd;
+            poller
+                .register(conn.stream.as_raw_fd(), token as u64, true, false)
+                .map_err(|e| format!("register: {e}"))?;
+        }
+
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let start = Instant::now();
+        let sched = |i: usize| start + Duration::from_secs_f64(i as f64 / cfg.offered_qps);
+        let grace = sched(cfg.total.saturating_sub(1)) + Duration::from_secs(60);
+        let mut next_send = 0usize;
+        let mut completed = 0u64;
+        let mut errors = 0u64;
+        let mut latencies_us = Vec::with_capacity(cfg.total);
+        let mut events = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+
+        while completed + errors < cfg.total as u64 {
+            // Enqueue every request whose scheduled instant has passed —
+            // even if the socket is backed up. That is the whole point:
+            // the schedule does not wait for the server.
+            let now = Instant::now();
+            while next_send < cfg.total && sched(next_send) <= now {
+                let idx = next_send as u64;
+                next_send += 1;
+                let request = pick_request(&mut rng, cfg.n, cfg.k);
+                let conn = &mut conns[idx as usize % cfg.connections];
+                cfg.codec.encode_request(idx, &request, &mut conn.wbuf);
+                conn.sent.push_back(idx);
+                touched.push(idx as usize % cfg.connections);
+            }
+            for token in touched.drain(..) {
+                flush(&mut conns[token])?;
+                update_interest(&poller, &mut conns, token)?;
+            }
+
+            let timeout = if next_send < cfg.total {
+                sched(next_send).saturating_duration_since(Instant::now()).as_millis().min(100)
+                    as i32
+            } else {
+                100
+            };
+            poller.wait(&mut events, timeout).map_err(|e| format!("epoll wait: {e}"))?;
+            for ev in &events {
+                let token = ev.token as usize;
+                if ev.readable {
+                    drain_replies(
+                        &mut conns[token],
+                        cfg,
+                        &sched,
+                        &mut completed,
+                        &mut errors,
+                        &mut latencies_us,
+                    )?;
+                }
+                if ev.writable {
+                    flush(&mut conns[token])?;
+                }
+                update_interest(&poller, &mut conns, token)?;
+            }
+            if Instant::now() > grace {
+                return Err(format!(
+                    "open-loop run stalled: {completed} completed, {errors} errors of {} \
+                     ({} still unsent)",
+                    cfg.total,
+                    cfg.total - next_send
+                ));
+            }
+        }
+        Ok(Outcome { completed, errors, latencies_us, wall: start.elapsed() })
+    }
+
+    fn flush(conn: &mut OConn) -> Result<(), String> {
+        while !conn.wbuf.is_empty() {
+            match conn.stream.write(&conn.wbuf) {
+                Ok(0) => return Err("server closed the connection mid-write".into()),
+                Ok(n) => {
+                    conn.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("write: {e}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn update_interest(poller: &Poller, conns: &mut [OConn], token: usize) -> Result<(), String> {
+        use std::os::unix::io::AsRawFd;
+        let conn = &mut conns[token];
+        let want = (true, !conn.wbuf.is_empty());
+        if want != conn.interest {
+            poller
+                .modify(conn.stream.as_raw_fd(), token as u64, want.0, want.1)
+                .map_err(|e| format!("epoll modify: {e}"))?;
+            conn.interest = want;
+        }
+        Ok(())
+    }
+
+    fn drain_replies(
+        conn: &mut OConn,
+        cfg: &Config<'_>,
+        sched: &impl Fn(usize) -> Instant,
+        completed: &mut u64,
+        errors: &mut u64,
+        latencies_us: &mut Vec<u64>,
+    ) -> Result<(), String> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => return Err("server closed a connection".into()),
+                Ok(n) => conn.rbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+        while let Some(len) = cfg.codec.decode_frame(&conn.rbuf)? {
+            let frame: Vec<u8> = conn.rbuf.drain(..len).collect();
+            let (id, reply) = cfg.codec.decode_response(&frame)?;
+            // Binary replies name their request; ordered text replies
+            // pair with the oldest in-flight index on this connection.
+            let idx = match id {
+                Some(id) => {
+                    conn.sent.retain(|&s| s != id);
+                    id
+                }
+                None => conn.sent.pop_front().ok_or("reply with nothing in flight")?,
+            };
+            let now = Instant::now();
+            match reply {
+                Ok(_) => {
+                    *completed += 1;
+                    latencies_us
+                        .push(now.saturating_duration_since(sched(idx as usize)).as_micros()
+                            as u64);
+                }
+                Err(message) => {
+                    *errors += 1;
+                    eprintln!("loadgen: open-loop request {idx} failed: {message}");
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 fn main() -> ExitCode {
@@ -218,17 +523,21 @@ fn main() -> ExitCode {
     };
 
     // Calibration connection: dimensions + spectrum → vertex range and k.
-    let mut probe = match Client::connect(&args.addr, Duration::from_secs(10)) {
+    let mut probe = match Client::connect(&args.addr, Duration::from_secs(10), args.codec) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("loadgen: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let (n, k) = match (probe.roundtrip(&Request::Info), probe.roundtrip(&Request::Spectrum)) {
+    let (n, k) = match (probe.call(&Request::Info), probe.call(&Request::Spectrum)) {
         (Ok(Response::Info { n, t, epochs, .. }), Ok(Response::Spectrum { shells, .. })) => {
             let k = calibrate_k(&shells);
-            eprintln!("# loadgen: server at t={t} (epochs={epochs}), n={n}, querying at k={k}");
+            eprintln!(
+                "# loadgen: server at t={t} (epochs={epochs}), n={n}, querying at k={k}, \
+                 codec={}",
+                args.codec.name()
+            );
             (n, k)
         }
         (info, spectrum) => {
@@ -237,79 +546,126 @@ fn main() -> ExitCode {
         }
     };
 
-    let started = Instant::now();
-    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..args.clients)
-            .map(|i| {
-                let addr = &args.addr;
-                let seed = args.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                scope.spawn(move || run_client(addr, args.requests, n, k, seed))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
-    });
-    let wall = started.elapsed();
-
-    let mut ok = 0u64;
-    let mut errors = 0u64;
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut transport_failures = 0usize;
-    for outcome in outcomes {
-        match outcome {
-            Ok(o) => {
-                ok += o.ok;
-                errors += o.errors;
-                latencies.extend(o.latencies_us);
-            }
-            Err(e) => {
-                transport_failures += 1;
-                eprintln!("loadgen: client failed: {e}");
+    let (ok, errors, mut latencies, transport_failures);
+    if let Some(offered_qps) = args.offered_qps {
+        // --- Open loop ---
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = offered_qps;
+            eprintln!("loadgen: open-loop mode needs epoll (Linux only)");
+            return ExitCode::FAILURE;
+        }
+        #[cfg(target_os = "linux")]
+        {
+            let total = args.requests.unwrap_or((offered_qps * 5.0).ceil() as usize).max(1);
+            let cfg = open_loop::Config {
+                addr: &args.addr,
+                codec: args.codec,
+                connections: args.connections,
+                total,
+                offered_qps,
+                seed: args.seed,
+                n,
+                k,
+            };
+            match open_loop::run(&cfg) {
+                Ok(outcome) => {
+                    let achieved = outcome.completed as f64 / outcome.wall.as_secs_f64().max(1e-9);
+                    outcomes_report_open(&cfg, &outcome, achieved);
+                    ok = outcome.completed;
+                    errors = outcome.errors;
+                    latencies = outcome.latencies_us;
+                    transport_failures = 0;
+                }
+                Err(e) => {
+                    eprintln!("loadgen: open-loop run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
-    }
+    } else {
+        // --- Closed loop ---
+        let requests = args.requests.unwrap_or(if args.quick { 40 } else { 200 });
+        let started = Instant::now();
+        let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|i| {
+                    let addr = &args.addr;
+                    let codec = args.codec;
+                    let seed = args.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    scope.spawn(move || run_client(addr, codec, requests, n, k, seed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        });
+        let wall = started.elapsed();
 
-    let qps = ok as f64 / wall.as_secs_f64().max(1e-9);
-    // One sort up front; percentile_of's in-place sort is then a no-op
-    // pass instead of a clone-and-sort per percentile.
-    latencies.sort_unstable();
-    let mut pct =
-        |p: f64| percentile_of(&mut latencies, p).map_or("-".into(), |v: u64| v.to_string());
-    println!(
-        "loadgen: clients={} requests={} served={ok} errors={errors} wall_ms={} qps={qps:.0} \
-         p50us={} p95us={} p99us={}",
-        args.clients,
-        args.requests,
-        wall.as_millis(),
-        pct(50.0),
-        pct(95.0),
-        pct(99.0),
-    );
+        let mut total_ok = 0u64;
+        let mut total_errors = 0u64;
+        let mut all_latencies: Vec<u64> = Vec::new();
+        let mut failures = 0usize;
+        for outcome in outcomes {
+            match outcome {
+                Ok(o) => {
+                    total_ok += o.ok;
+                    total_errors += o.errors;
+                    all_latencies.extend(o.latencies_us);
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("loadgen: client failed: {e}");
+                }
+            }
+        }
+        let qps = total_ok as f64 / wall.as_secs_f64().max(1e-9);
+        all_latencies.sort_unstable();
+        let mut pct = |p: f64| {
+            percentile_of(&mut all_latencies, p).map_or("-".into(), |v: u64| v.to_string())
+        };
+        println!(
+            "loadgen: clients={} requests={requests} served={total_ok} errors={total_errors} \
+             wall_ms={} qps={qps:.0} p50us={} p95us={} p99us={}",
+            args.clients,
+            wall.as_millis(),
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
+        );
+        ok = total_ok;
+        errors = total_errors;
+        latencies = all_latencies;
+        transport_failures = failures;
+    }
+    let _ = &mut latencies; // sorted where reported; kept for symmetry
 
     // Server-side view after the run (and optional teardown).
-    match probe.roundtrip(&Request::Stats) {
-        Ok(Response::Stats { epochs, served, errors: server_errors, p50_us, p99_us }) => {
+    match probe.call(&Request::Stats) {
+        Ok(Response::Stats { epochs, served, errors: server_errors, p50_us, p99_us, per_op }) => {
+            let opt = |v: Option<u64>| v.map_or("-".into(), |v: u64| v.to_string());
+            let ops = per_op
+                .iter()
+                .map(|o| {
+                    format!("{}:{}:{}:{}", o.op.wire_name(), o.count, opt(o.p50_us), opt(o.p99_us))
+                })
+                .collect::<Vec<_>>()
+                .join(",");
             println!(
                 "loadgen: server stats: epochs={epochs} served={served} errors={server_errors} \
-                 p50us={} p99us={}",
-                p50_us.map_or("-".into(), |v| v.to_string()),
-                p99_us.map_or("-".into(), |v| v.to_string()),
+                 p50us={} p99us={} ops={}",
+                opt(p50_us),
+                opt(p99_us),
+                if ops.is_empty() { "-".into() } else { ops },
             );
         }
         other => eprintln!("loadgen: STATS after run failed: {other:?}"),
     }
     // A failed teardown must fail the run: the scripted `avt-serve &…;
     // wait` pattern would otherwise hang on a server that never heard
-    // SHUTDOWN while loadgen reports success.
+    // the shutdown verb while loadgen reports success.
     let mut shutdown_failed = false;
     if args.shutdown {
-        match probe.send_raw("SHUTDOWN") {
-            Ok(reply) if reply.starts_with("OK") => {
-                eprintln!("# loadgen: shutdown acknowledged: {reply}")
-            }
-            Ok(reply) => {
-                shutdown_failed = true;
-                eprintln!("loadgen: shutdown rejected: {reply}");
-            }
+        match probe.shutdown() {
+            Ok(()) => eprintln!("# loadgen: shutdown acknowledged"),
             Err(e) => {
                 shutdown_failed = true;
                 eprintln!("loadgen: shutdown failed: {e}");
@@ -326,4 +682,28 @@ fn main() -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Print the open-loop report: achieved-vs-offered is the saturation
+/// signal, and the percentiles are from *scheduled* send times.
+#[cfg(target_os = "linux")]
+fn outcomes_report_open(cfg: &open_loop::Config<'_>, outcome: &open_loop::Outcome, achieved: f64) {
+    let mut latencies = outcome.latencies_us.clone();
+    latencies.sort_unstable();
+    let mut pct =
+        |p: f64| percentile_of(&mut latencies, p).map_or("-".into(), |v: u64| v.to_string());
+    println!(
+        "loadgen: open-loop connections={} offered_qps={:.0} achieved_qps={achieved:.0} \
+         requests={} completed={} errors={} wall_ms={} p50us={} p95us={} p99us={} \
+         (latency from scheduled send)",
+        cfg.connections,
+        cfg.offered_qps,
+        cfg.total,
+        outcome.completed,
+        outcome.errors,
+        outcome.wall.as_millis(),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+    );
 }

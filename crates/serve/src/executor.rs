@@ -131,6 +131,7 @@ pub fn execute(
             errors: stats.errors(),
             p50_us: stats.latency.percentile(50.0),
             p99_us: stats.latency.percentile(99.0),
+            per_op: stats.per_op_latencies(),
         }),
     }
 }
@@ -152,9 +153,48 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Completion callback for [`Service::try_submit`]: invoked exactly once,
+/// on a worker thread, with the query's outcome.
+pub type QueryCallback = Box<dyn FnOnce(Result<Response, String>) + Send + 'static>;
+
+/// Why [`Service::try_submit`] handed a job back instead of queuing it.
+/// Both variants return the request and callback so the caller can park
+/// and retry them — nothing is dropped on the floor.
+pub enum SubmitError {
+    /// The job queue is full; retry after a completion frees a slot.
+    Full(Request, QueryCallback),
+    /// The service is shutting down and accepts no further work.
+    Closed(Request, QueryCallback),
+}
+
+impl std::fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(request, _) => f.debug_tuple("Full").field(request).finish(),
+            SubmitError::Closed(request, _) => f.debug_tuple("Closed").field(request).finish(),
+        }
+    }
+}
+
+enum Reply {
+    Channel(mpsc::SyncSender<Result<Response, String>>),
+    Callback(QueryCallback),
+}
+
+impl Reply {
+    fn deliver(self, outcome: Result<Response, String>) {
+        match self {
+            // The client may have given up; that is its business, not an
+            // executor fault.
+            Reply::Channel(tx) => drop(tx.send(outcome)),
+            Reply::Callback(done) => done(outcome),
+        }
+    }
+}
+
 struct Job {
     request: Request,
-    reply: mpsc::SyncSender<Result<Response, String>>,
+    reply: Reply,
 }
 
 /// The in-process query service: a bounded worker pool over a
@@ -217,14 +257,13 @@ impl Service {
                         // runs unlocked so workers overlap.
                         let job = rx.lock().expect("job queue lock poisoned").recv();
                         let Ok(job) = job else { break };
+                        let op = job.request.op_class();
                         let start = Instant::now();
                         let epoch = timeline.current();
                         let reply =
                             execute(&job.request, &epoch, timeline.epochs_published(), &stats);
-                        stats.record(reply.is_ok(), start.elapsed().as_micros() as u64);
-                        // The client may have given up; that is its
-                        // business, not an executor fault.
-                        let _ = job.reply.send(reply);
+                        stats.record(op, reply.is_ok(), start.elapsed().as_micros() as u64);
+                        job.reply.deliver(reply);
                     })
                     .expect("spawning a worker thread")
             })
@@ -238,9 +277,27 @@ impl Service {
     pub fn query(&self, request: Request) -> Result<Response, String> {
         let (tx, rx) = mpsc::sync_channel(1);
         self.jobs
-            .send(Job { request, reply: tx })
+            .send(Job { request, reply: Reply::Channel(tx) })
             .map_err(|_| "service is shutting down".to_string())?;
         rx.recv().map_err(|_| "worker died before answering".to_string())?
+    }
+
+    /// Submit one query without blocking: `done` runs on a worker thread
+    /// when the answer is ready. This is the nonblocking front-end's path
+    /// — an event loop must never sleep on a full queue, so a saturated
+    /// pool hands the job straight back as [`SubmitError::Full`] for the
+    /// caller to park and retry.
+    pub fn try_submit(&self, request: Request, done: QueryCallback) -> Result<(), SubmitError> {
+        self.jobs.try_send(Job { request, reply: Reply::Callback(done) }).map_err(|e| match e {
+            mpsc::TrySendError::Full(job) => match job.reply {
+                Reply::Callback(done) => SubmitError::Full(job.request, done),
+                Reply::Channel(_) => unreachable!("submitted with a callback"),
+            },
+            mpsc::TrySendError::Disconnected(job) => match job.reply {
+                Reply::Callback(done) => SubmitError::Closed(job.request, done),
+                Reply::Channel(_) => unreachable!("submitted with a callback"),
+            },
+        })
     }
 
     /// The timeline this service reads.
@@ -376,6 +433,22 @@ mod tests {
         };
         assert_eq!(errors, 3);
         assert_eq!(served, 0, "stats reads its own counters before recording itself");
+        assert_eq!(svc.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn try_submit_answers_via_callback() {
+        let svc = service();
+        let (tx, rx) = mpsc::channel();
+        svc.try_submit(
+            Request::Core(0),
+            Box::new(move |reply| tx.send(reply).expect("test channel alive")),
+        )
+        .expect("queue has room");
+        match rx.recv().expect("callback ran") {
+            Ok(Response::Core { core, .. }) => assert_eq!(core, 3),
+            other => panic!("unexpected reply {other:?}"),
+        }
         assert_eq!(svc.shutdown().worker_panics, 0);
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Everything below PR 4 replays a *finished* timeline offline; this crate
 //! answers "what is the anchored k-core — and the best `b` anchors —
-//! *right now*?" while edge batches keep arriving. Three layers, each
+//! *right now*?" while edge batches keep arriving. The layers, each
 //! usable on its own:
 //!
 //! * [`LiveTimeline`] — the writer path. Each [`avt_graph::EdgeBatch`]
@@ -17,14 +17,25 @@
 //!   [`Request`]s ([`protocol`] lists them: spectrum, core, anchored core,
 //!   followers, Greedy-vs-OLAK best-`b` anchors, stats) against the
 //!   current epoch, recording per-query visited/probed counters and
-//!   latency into lock-free [`stats::ServiceStats`].
-//! * [`tcp::TcpFront`] — a thin [`std::net::TcpListener`] front speaking
-//!   the newline-delimited protocol (one request line, one response line),
-//!   with `STATS` introspection and a drain-clean `SHUTDOWN`.
+//!   global *and per-opcode* latency into lock-free
+//!   [`stats::ServiceStats`].
+//! * [`codec`] — the wire layer, redesigned in PR 6 as a swappable axis
+//!   (like `GraphView`/`FrameSource` before it): typed domain enums in
+//!   [`protocol`], a [`codec::Codec`] trait over bytes, and two
+//!   implementations — the newline text format ([`codec::TextCodec`],
+//!   unchanged on the wire) and the length-prefixed pipelined binary
+//!   format ([`binary::BinaryCodec`], spec in [`binary`]'s module docs).
+//!   A connection's first byte picks its codec ([`conn::Conn`]).
+//! * The fronts: [`event_loop::EventFront`] — a readiness-driven
+//!   nonblocking `epoll` loop, one thread for every socket,
+//!   connection-count-independent memory — and [`tcp::TcpFront`], the
+//!   thread-per-connection fallback (and debugging aid) speaking the same
+//!   protocols.
 //!
-//! The `avt-serve` binary wires all three over a churned dataset;
-//! `avt-bench`'s `loadgen` binary is the matching traffic generator. The
-//! whole crate is std-only, like the rest of the workspace.
+//! The `avt-serve` binary wires all of it over a churned dataset;
+//! `avt-bench`'s `loadgen` binary is the matching traffic generator
+//! (closed-loop and open-loop). The whole crate is std-only, like the
+//! rest of the workspace.
 //!
 //! # In-process quickstart
 //!
@@ -51,14 +62,25 @@
 
 #![warn(missing_docs)]
 
+pub mod binary;
+pub mod codec;
+pub mod conn;
+pub mod event_loop;
 pub mod executor;
 pub mod protocol;
 pub mod stats;
 pub mod tcp;
 pub mod timeline;
 
-pub use executor::{execute, Service, ServiceConfig, ShutdownReport};
-pub use protocol::{BestAlgo, Request, Response};
+pub use binary::BinaryCodec;
+pub use codec::{Codec, TextCodec, WireRequest, WireVerb};
+pub use conn::Conn;
+pub use event_loop::EventFront;
+pub use executor::{execute, QueryCallback, Service, ServiceConfig, ShutdownReport, SubmitError};
+pub use protocol::{BestAlgo, OpClass, OpLatency, Request, Response};
 pub use stats::ServiceStats;
 pub use tcp::TcpFront;
 pub use timeline::{EpochFrame, EpochReport, LiveTimeline};
+
+#[cfg(target_os = "linux")]
+pub use event_loop::{PollEvent, Poller};

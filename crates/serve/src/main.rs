@@ -3,13 +3,16 @@
 //! ```text
 //! avt-serve [--addr 127.0.0.1:7171] [--workers 2] [--scale 0.02]
 //!           [--epochs 30] [--epoch-ms 100] [--seed 42] [--spill DIR]
+//!           [--front epoll|threads] [--max-connections N]
 //! ```
 //!
 //! Starts a [`avt_serve::LiveTimeline`] on a churned dataset stream (the
 //! real SNAP download when present under `$AVT_DATA_DIR`, the synthetic
 //! stand-in otherwise), applies one churn batch every `--epoch-ms`
-//! milliseconds on a writer thread, and serves the newline-delimited query
-//! protocol on `--addr` until a client sends `SHUTDOWN`. Prints
+//! milliseconds on a writer thread, and serves queries on `--addr` until
+//! a client sends a shutdown verb. Both wire formats are spoken on the
+//! one port — the newline text protocol and the length-prefixed binary
+//! protocol — sniffed from each connection's first byte. Prints
 //! `avt-serve listening on <addr>` once the socket is bound (use
 //! `--addr 127.0.0.1:0` for an ephemeral port and scrape that line).
 //!
@@ -24,7 +27,7 @@ use std::time::Duration;
 
 use avt_datasets::Dataset;
 use avt_graph::FrameSource;
-use avt_serve::{LiveTimeline, Service, ServiceConfig, TcpFront};
+use avt_serve::{EventFront, LiveTimeline, Service, ServiceConfig, TcpFront};
 
 const USAGE: &str = "\
 usage: avt-serve [options]
@@ -40,10 +43,16 @@ options:
   --seed N          stream generation seed        (default 42)
   --spill DIR       on shutdown, spill the served history to DIR as a
                     .csrbin frame directory (offline audit/replay)
+  --front KIND      connection handling: `epoll` (nonblocking event loop,
+                    the default; falls back to threads off Linux) or
+                    `threads` (one handler thread per connection)
+  --max-connections N  concurrent connection cap (default 8192 for the
+                    epoll front, 64 for the threaded one)
 
-The service speaks the newline protocol documented in avt_serve::protocol
-(INFO / SPECTRUM / CORE / ANCHORED / FOLLOWERS / BEST / STATS / SHUTDOWN);
-drive it with `loadgen` from avt-bench or plain netcat.
+The service speaks the protocols documented in avt_serve::codec and
+avt_serve::binary — text lines (INFO / SPECTRUM / CORE / ANCHORED /
+FOLLOWERS / BEST / STATS / SHUTDOWN) and the pipelined binary framing —
+on the same port; drive it with `loadgen` from avt-bench or plain netcat.
 ";
 
 struct Args {
@@ -54,6 +63,8 @@ struct Args {
     epoch_ms: u64,
     seed: u64,
     spill: Option<std::path::PathBuf>,
+    threaded_front: bool,
+    max_connections: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +76,8 @@ fn parse_args() -> Result<Args, String> {
         epoch_ms: 100,
         seed: 42,
         spill: None,
+        threaded_front: false,
+        max_connections: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -82,6 +95,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--spill" => args.spill = Some(value.into()),
+            "--front" => {
+                args.threaded_front = match value.as_str() {
+                    "epoll" => false,
+                    "threads" => true,
+                    other => return Err(format!("--front must be epoll or threads, got {other}")),
+                }
+            }
+            "--max-connections" => {
+                args.max_connections =
+                    Some(value.parse().map_err(|e| format!("--max-connections: {e}"))?)
+            }
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
@@ -159,8 +183,19 @@ fn main() -> ExitCode {
     // Scrapeable by harnesses (stdout, immediately flushed by println).
     println!("avt-serve listening on {bound}");
 
-    let front = TcpFront::default();
-    let serve_result = front.run(listener, &service);
+    let serve_result = if args.threaded_front {
+        let front = TcpFront {
+            max_connections: args.max_connections.unwrap_or(TcpFront::default().max_connections),
+            ..Default::default()
+        };
+        front.run(listener, &service)
+    } else {
+        let front = EventFront {
+            max_connections: args.max_connections.unwrap_or(EventFront::default().max_connections),
+            ..Default::default()
+        };
+        front.run(listener, &service)
+    };
 
     stop.store(true, Ordering::Relaxed);
     let writer_ok = writer.join().is_ok();

@@ -1,37 +1,41 @@
-//! The newline-delimited wire protocol.
+//! The protocol *domain* types: what a client can ask and what the
+//! service answers — independent of any wire format.
 //!
-//! One request per line, one response line per request — no framing, no
-//! binary, so `nc localhost 7171` is a working client. Requests are a
-//! keyword plus whitespace-separated arguments; responses are `OK <kind>
-//! key=value ...` or `ERR <message>`. Vertex lists are comma-separated
-//! with `-` for the empty list (an empty field would be invisible in a
-//! space-split line).
+//! [`Request`] and [`Response`] are plain enums; how they travel is the
+//! business of a [`crate::codec::Codec`] implementation. Two ship with the
+//! crate:
+//!
+//! * [`crate::codec::TextCodec`] — the original newline-delimited text
+//!   form (`CORE 3` → `OK core t=.. v=3 core=..`), byte-for-byte the
+//!   format PR 5 spoke, so `nc localhost 7171` stays a working client.
+//! * [`crate::binary::BinaryCodec`] — length-prefixed binary frames with
+//!   explicit request ids, the production format of the nonblocking
+//!   front-end (pipelined requests, out-of-order replies).
+//!
+//! The request/response taxonomy:
 //!
 //! | Request | Response |
 //! |---------|----------|
-//! | `INFO` | `OK info t=.. n=.. m=.. epochs=..` |
-//! | `SPECTRUM` | `OK spectrum t=.. shells=s0,s1,..` (`shells[c]` = vertices with core exactly `c`) |
-//! | `CORE <v>` | `OK core t=.. v=.. core=..` |
-//! | `ANCHORED <k> <v,v,..>` | `OK anchored t=.. k=.. size=.. followers=..` |
-//! | `FOLLOWERS <k> <v>` | `OK followers t=.. k=.. anchor=.. followers=..` |
-//! | `BEST <k> <b> <greedy\|olak>` | `OK best t=.. k=.. algo=.. anchors=.. followers=.. visited=.. probed=..` |
-//! | `STATS` | `OK stats epochs=.. served=.. errors=.. p50us=.. p99us=..` |
-//! | `SHUTDOWN` | `OK bye` — then the whole service drains and exits |
-//! | `QUIT` | closes this connection only |
+//! | `INFO` | epoch `t`, `n`, `m`, epochs published |
+//! | `SPECTRUM` | shell histogram of the current epoch |
+//! | `CORE v` | core number of `v` |
+//! | `ANCHORED k anchors` | anchored k-core size + followers |
+//! | `FOLLOWERS k v` | followers of one hypothetical anchor |
+//! | `BEST k b greedy\|olak` | best-`b` anchors + followers + counters |
+//! | `STATS` | service counters incl. per-opcode latency percentiles |
 //!
-//! `SHUTDOWN`/`QUIT` are connection-level verbs handled by the TCP
-//! front-end; everything above them is a [`Request`] executed against the
-//! current epoch. Every *per-epoch* `OK` response — all but `stats`
-//! (which describes the service, not a snapshot) and the `bye` ack —
-//! carries the epoch `t` it was answered at, so a client interleaving
-//! queries with a running writer can tell which snapshot each answer
-//! describes.
+//! Every *per-epoch* response carries the epoch `t` it was answered at, so
+//! a client interleaving queries with a running writer can tell which
+//! snapshot each answer describes. `QUIT` (close this connection) and
+//! `SHUTDOWN` (drain the whole service; acknowledged with [`Response::Bye`])
+//! are connection-level verbs handled by the front-end, below the
+//! [`Request`] level — codecs carry them, the executor never sees them.
 
 use avt_graph::VertexId;
 
 /// Hard cap on anchors per `ANCHORED` request and on `b` per `BEST`
 /// request: queries cost O(b · candidates) anchored-decomposition work, and
-/// a service must bound what one line of input can make it do.
+/// a service must bound what one request can make it do.
 pub const MAX_ANCHORS: usize = 64;
 
 /// The per-snapshot solver a `BEST` request runs.
@@ -53,6 +57,74 @@ impl BestAlgo {
             BestAlgo::Greedy => "greedy",
             BestAlgo::Olak => "olak",
         }
+    }
+}
+
+/// The query taxonomy, one class per [`Request`] variant: the key for
+/// per-opcode latency accounting (cheap `CORE` lookups and expensive
+/// `BEST` solves must not share one percentile estimate) and the opcode
+/// namespace of the binary framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// `INFO`.
+    Info,
+    /// `SPECTRUM`.
+    Spectrum,
+    /// `CORE`.
+    Core,
+    /// `ANCHORED`.
+    Anchored,
+    /// `FOLLOWERS`.
+    Followers,
+    /// `BEST`.
+    Best,
+    /// `STATS`.
+    Stats,
+}
+
+impl OpClass {
+    /// Number of classes (array-index space).
+    pub const COUNT: usize = 7;
+
+    /// Every class, in index order.
+    pub const ALL: [OpClass; OpClass::COUNT] = [
+        OpClass::Info,
+        OpClass::Spectrum,
+        OpClass::Core,
+        OpClass::Anchored,
+        OpClass::Followers,
+        OpClass::Best,
+        OpClass::Stats,
+    ];
+
+    /// Dense index in `0..COUNT`, stable across releases (it is part of
+    /// the binary stats payload).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`OpClass::index`].
+    pub fn from_index(index: usize) -> Option<OpClass> {
+        OpClass::ALL.get(index).copied()
+    }
+
+    /// Lowercase wire name (the text form's `ops=` key).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            OpClass::Info => "info",
+            OpClass::Spectrum => "spectrum",
+            OpClass::Core => "core",
+            OpClass::Anchored => "anchored",
+            OpClass::Followers => "followers",
+            OpClass::Best => "best",
+            OpClass::Stats => "stats",
+        }
+    }
+
+    /// Inverse of [`OpClass::wire_name`].
+    pub fn from_wire_name(name: &str) -> Option<OpClass> {
+        OpClass::ALL.into_iter().find(|op| op.wire_name() == name)
     }
 }
 
@@ -92,9 +164,52 @@ pub enum Request {
     Stats,
 }
 
-/// A successful response. [`Response::encode`] and [`Response::parse`]
-/// round-trip the wire form; the server additionally emits `ERR <message>`
-/// lines for rejected requests (see [`encode_reply`]).
+impl Request {
+    /// The latency/opcode class of this request.
+    pub fn op_class(&self) -> OpClass {
+        match self {
+            Request::Info => OpClass::Info,
+            Request::Spectrum => OpClass::Spectrum,
+            Request::Core(_) => OpClass::Core,
+            Request::Anchored { .. } => OpClass::Anchored,
+            Request::Followers { .. } => OpClass::Followers,
+            Request::Best { .. } => OpClass::Best,
+            Request::Stats => OpClass::Stats,
+        }
+    }
+
+    /// The text wire line for this request (no trailing newline).
+    #[deprecated(note = "wire formats are a codec concern: use \
+                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
+    pub fn encode(&self) -> String {
+        crate::codec::text_request_line(self)
+    }
+
+    /// Parse one text request line.
+    #[deprecated(note = "wire formats are a codec concern: use \
+                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
+    pub fn parse(line: &str) -> Result<Request, String> {
+        crate::codec::parse_text_request_line(line)
+    }
+}
+
+/// Latency summary of one opcode class, as reported by `STATS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Which request class.
+    pub op: OpClass,
+    /// Requests of this class executed so far.
+    pub count: u64,
+    /// p50 executor latency in µs (absent before the first sample).
+    pub p50_us: Option<u64>,
+    /// p99 executor latency in µs (absent before the first sample).
+    pub p99_us: Option<u64>,
+}
+
+/// A successful response. The server answers rejected requests with a
+/// codec-level error message instead (`ERR <message>` in the text form,
+/// an error frame in the binary form) — that is why executor verdicts are
+/// `Result<Response, String>` throughout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// Reply to `INFO`.
@@ -171,242 +286,46 @@ pub enum Response {
         served: u64,
         /// Queries rejected.
         errors: u64,
-        /// p50 executor latency in µs (absent before the first query).
+        /// p50 executor latency in µs, all classes (absent before the
+        /// first query).
         p50_us: Option<u64>,
-        /// p99 executor latency in µs (absent before the first query).
+        /// p99 executor latency in µs, all classes (absent before the
+        /// first query).
         p99_us: Option<u64>,
+        /// Per-opcode latency summaries (classes with zero traffic are
+        /// omitted), so cheap/expensive skew — a `BEST` head-of-line
+        /// blocking `CORE` — is observable instead of averaged away.
+        per_op: Vec<OpLatency>,
     },
-}
-
-fn join_list<T: ToString>(items: &[T]) -> String {
-    if items.is_empty() {
-        return "-".into();
-    }
-    items.iter().map(T::to_string).collect::<Vec<_>>().join(",")
-}
-
-fn parse_list<T: std::str::FromStr>(field: &str, value: &str) -> Result<Vec<T>, String> {
-    if value == "-" {
-        return Ok(Vec::new());
-    }
-    value.split(',').map(|x| x.parse().map_err(|_| format!("bad {field} element {x:?}"))).collect()
-}
-
-fn parse_num<T: std::str::FromStr>(field: &str, value: &str) -> Result<T, String> {
-    value.parse().map_err(|_| format!("bad {field} value {value:?}"))
-}
-
-impl Request {
-    /// The wire line for this request (no trailing newline).
-    pub fn encode(&self) -> String {
-        match self {
-            Request::Info => "INFO".into(),
-            Request::Spectrum => "SPECTRUM".into(),
-            Request::Core(v) => format!("CORE {v}"),
-            Request::Anchored { k, anchors } => format!("ANCHORED {k} {}", join_list(anchors)),
-            Request::Followers { k, anchor } => format!("FOLLOWERS {k} {anchor}"),
-            Request::Best { k, b, algo } => format!("BEST {k} {b} {}", algo.wire_name()),
-            Request::Stats => "STATS".into(),
-        }
-    }
-
-    /// Parse one request line. Keywords are case-insensitive; argument
-    /// counts and ranges are validated here so the executor only ever sees
-    /// well-formed requests.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let mut tokens = line.split_whitespace();
-        let keyword = tokens.next().ok_or("empty request")?.to_ascii_uppercase();
-        let args: Vec<&str> = tokens.collect();
-        let want = |n: usize| {
-            if args.len() == n {
-                Ok(())
-            } else {
-                Err(format!("{keyword} takes {n} argument(s), got {}", args.len()))
-            }
-        };
-        let req = match keyword.as_str() {
-            "INFO" => {
-                want(0)?;
-                Request::Info
-            }
-            "SPECTRUM" => {
-                want(0)?;
-                Request::Spectrum
-            }
-            "CORE" => {
-                want(1)?;
-                Request::Core(parse_num("vertex", args[0])?)
-            }
-            "ANCHORED" => {
-                want(2)?;
-                let k = parse_num("k", args[0])?;
-                let anchors: Vec<VertexId> = parse_list("anchors", args[1])?;
-                if anchors.len() > MAX_ANCHORS {
-                    return Err(format!("at most {MAX_ANCHORS} anchors per request"));
-                }
-                Request::Anchored { k, anchors }
-            }
-            "FOLLOWERS" => {
-                want(2)?;
-                Request::Followers {
-                    k: parse_num("k", args[0])?,
-                    anchor: parse_num("anchor", args[1])?,
-                }
-            }
-            "BEST" => {
-                want(3)?;
-                let k = parse_num("k", args[0])?;
-                let b: usize = parse_num("b", args[1])?;
-                if b > MAX_ANCHORS {
-                    return Err(format!("at most b = {MAX_ANCHORS} per request"));
-                }
-                let algo = match args[2].to_ascii_lowercase().as_str() {
-                    "greedy" => BestAlgo::Greedy,
-                    "olak" => BestAlgo::Olak,
-                    other => return Err(format!("unknown algorithm {other:?} (greedy|olak)")),
-                };
-                Request::Best { k, b, algo }
-            }
-            "STATS" => {
-                want(0)?;
-                Request::Stats
-            }
-            other => return Err(format!("unknown request {other:?}")),
-        };
-        Ok(req)
-    }
+    /// Acknowledgement of a `SHUTDOWN` verb: the last message the service
+    /// sends before draining.
+    Bye,
 }
 
 impl Response {
-    /// The wire line for this response (no trailing newline), starting
-    /// with `OK <kind>`.
+    /// The text wire line for this response (no trailing newline),
+    /// starting with `OK <kind>`.
+    #[deprecated(note = "wire formats are a codec concern: use \
+                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
     pub fn encode(&self) -> String {
-        match self {
-            Response::Info { t, n, m, epochs } => {
-                format!("OK info t={t} n={n} m={m} epochs={epochs}")
-            }
-            Response::Spectrum { t, shells } => {
-                format!("OK spectrum t={t} shells={}", join_list(shells))
-            }
-            Response::Core { t, v, core } => format!("OK core t={t} v={v} core={core}"),
-            Response::Anchored { t, k, size, followers } => {
-                format!("OK anchored t={t} k={k} size={size} followers={}", join_list(followers))
-            }
-            Response::Followers { t, k, anchor, followers } => {
-                format!(
-                    "OK followers t={t} k={k} anchor={anchor} followers={}",
-                    join_list(followers)
-                )
-            }
-            Response::Best { t, k, algo, anchors, followers, visited, probed } => format!(
-                "OK best t={t} k={k} algo={} anchors={} followers={} visited={visited} \
-                 probed={probed}",
-                algo.wire_name(),
-                join_list(anchors),
-                join_list(followers)
-            ),
-            Response::Stats { epochs, served, errors, p50_us, p99_us } => {
-                let opt = |v: &Option<u64>| v.map_or("-".into(), |x: u64| x.to_string());
-                format!(
-                    "OK stats epochs={epochs} served={served} errors={errors} p50us={} p99us={}",
-                    opt(p50_us),
-                    opt(p99_us)
-                )
-            }
-        }
+        crate::codec::text_ok_line(self)
     }
 
-    /// Parse one response line. `ERR <message>` lines come back as
-    /// `Err(message)`; malformed lines as `Err` with a parse diagnosis.
+    /// Parse one text response line (`ERR <message>` lines come back as
+    /// `Err(message)`).
+    #[deprecated(note = "wire formats are a codec concern: use \
+                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
     pub fn parse(line: &str) -> Result<Response, String> {
-        let line = line.trim_end();
-        if let Some(message) = line.strip_prefix("ERR ") {
-            return Err(message.to_string());
-        }
-        let rest = line.strip_prefix("OK ").ok_or_else(|| format!("malformed reply {line:?}"))?;
-        let mut tokens = rest.split_whitespace();
-        let kind = tokens.next().ok_or("reply missing kind")?;
-        let mut fields = std::collections::BTreeMap::new();
-        for token in tokens {
-            let (key, value) =
-                token.split_once('=').ok_or_else(|| format!("malformed field {token:?}"))?;
-            fields.insert(key.to_string(), value.to_string());
-        }
-        let get = |key: &str| {
-            fields.get(key).cloned().ok_or_else(|| format!("{kind} reply missing {key}"))
-        };
-        let response = match kind {
-            "info" => Response::Info {
-                t: parse_num("t", &get("t")?)?,
-                n: parse_num("n", &get("n")?)?,
-                m: parse_num("m", &get("m")?)?,
-                epochs: parse_num("epochs", &get("epochs")?)?,
-            },
-            "spectrum" => Response::Spectrum {
-                t: parse_num("t", &get("t")?)?,
-                shells: parse_list("shells", &get("shells")?)?,
-            },
-            "core" => Response::Core {
-                t: parse_num("t", &get("t")?)?,
-                v: parse_num("v", &get("v")?)?,
-                core: parse_num("core", &get("core")?)?,
-            },
-            "anchored" => Response::Anchored {
-                t: parse_num("t", &get("t")?)?,
-                k: parse_num("k", &get("k")?)?,
-                size: parse_num("size", &get("size")?)?,
-                followers: parse_list("followers", &get("followers")?)?,
-            },
-            "followers" => Response::Followers {
-                t: parse_num("t", &get("t")?)?,
-                k: parse_num("k", &get("k")?)?,
-                anchor: parse_num("anchor", &get("anchor")?)?,
-                followers: parse_list("followers", &get("followers")?)?,
-            },
-            "best" => Response::Best {
-                t: parse_num("t", &get("t")?)?,
-                k: parse_num("k", &get("k")?)?,
-                algo: match get("algo")?.as_str() {
-                    "greedy" => BestAlgo::Greedy,
-                    "olak" => BestAlgo::Olak,
-                    other => return Err(format!("unknown algo {other:?} in reply")),
-                },
-                anchors: parse_list("anchors", &get("anchors")?)?,
-                followers: parse_list("followers", &get("followers")?)?,
-                visited: parse_num("visited", &get("visited")?)?,
-                probed: parse_num("probed", &get("probed")?)?,
-            },
-            "stats" => {
-                let opt = |field: &str, value: String| -> Result<Option<u64>, String> {
-                    if value == "-" {
-                        Ok(None)
-                    } else {
-                        parse_num(field, &value).map(Some)
-                    }
-                };
-                Response::Stats {
-                    epochs: parse_num("epochs", &get("epochs")?)?,
-                    served: parse_num("served", &get("served")?)?,
-                    errors: parse_num("errors", &get("errors")?)?,
-                    p50_us: opt("p50us", get("p50us")?)?,
-                    p99_us: opt("p99us", get("p99us")?)?,
-                }
-            }
-            other => return Err(format!("unknown reply kind {other:?}")),
-        };
-        Ok(response)
+        crate::codec::parse_text_response_line(line)
     }
 }
 
-/// Encode an executor verdict as the wire line the server writes back.
+/// Encode an executor verdict as the text wire line the server writes
+/// back.
+#[deprecated(note = "wire formats are a codec concern: use \
+                     `TextCodec`/`BinaryCodec` through the `Codec` trait")]
 pub fn encode_reply(reply: &Result<Response, String>) -> String {
-    match reply {
-        Ok(response) => response.encode(),
-        // Collapse the message onto one line: the protocol is
-        // line-delimited, so an embedded newline would desynchronize the
-        // client.
-        Err(message) => format!("ERR {}", message.replace('\n', " ")),
-    }
+    crate::codec::text_reply_line(reply)
 }
 
 #[cfg(test)]
@@ -414,87 +333,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn requests_round_trip() {
-        let cases = [
-            Request::Info,
-            Request::Spectrum,
-            Request::Core(17),
-            Request::Anchored { k: 3, anchors: vec![1, 5, 9] },
-            Request::Anchored { k: 2, anchors: vec![] },
-            Request::Followers { k: 3, anchor: 14 },
-            Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy },
-            Request::Best { k: 4, b: 1, algo: BestAlgo::Olak },
-            Request::Stats,
-        ];
-        for req in cases {
-            assert_eq!(Request::parse(&req.encode()).as_ref(), Ok(&req), "{}", req.encode());
+    fn op_class_indexing_round_trips() {
+        for (i, op) in OpClass::ALL.into_iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(OpClass::from_index(i), Some(op));
+            assert_eq!(OpClass::from_wire_name(op.wire_name()), Some(op));
         }
+        assert_eq!(OpClass::from_index(OpClass::COUNT), None);
+        assert_eq!(OpClass::from_wire_name("frobnicate"), None);
     }
 
     #[test]
-    fn request_keywords_are_case_insensitive() {
-        assert_eq!(Request::parse("core 3"), Ok(Request::Core(3)));
-        assert_eq!(
-            Request::parse("  best 3 2 GREEDY  "),
-            Ok(Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy })
-        );
+    fn requests_know_their_class() {
+        assert_eq!(Request::Info.op_class(), OpClass::Info);
+        assert_eq!(Request::Core(3).op_class(), OpClass::Core);
+        assert_eq!(Request::Anchored { k: 2, anchors: vec![] }.op_class(), OpClass::Anchored);
+        assert_eq!(Request::Best { k: 3, b: 1, algo: BestAlgo::Olak }.op_class(), OpClass::Best);
+        assert_eq!(Request::Stats.op_class(), OpClass::Stats);
     }
 
     #[test]
-    fn malformed_requests_are_rejected_with_reasons() {
-        assert!(Request::parse("").unwrap_err().contains("empty"));
-        assert!(Request::parse("NOPE").unwrap_err().contains("unknown request"));
-        assert!(Request::parse("CORE").unwrap_err().contains("1 argument"));
-        assert!(Request::parse("CORE x").unwrap_err().contains("bad vertex"));
-        assert!(Request::parse("BEST 3 2 quantum").unwrap_err().contains("unknown algorithm"));
-        assert!(Request::parse("ANCHORED 3 1,2,x").unwrap_err().contains("anchors element"));
-        let too_many =
-            (0..=MAX_ANCHORS as u32).map(|v| v.to_string()).collect::<Vec<_>>().join(",");
-        assert!(Request::parse(&format!("ANCHORED 3 {too_many}")).unwrap_err().contains("at most"));
-        assert!(Request::parse("BEST 3 9999 greedy").unwrap_err().contains("at most"));
-    }
-
-    #[test]
-    fn responses_round_trip() {
-        let cases = [
-            Response::Info { t: 4, n: 100, m: 250, epochs: 4 },
-            Response::Spectrum { t: 1, shells: vec![0, 3, 7] },
-            Response::Core { t: 2, v: 9, core: 3 },
-            Response::Anchored { t: 3, k: 3, size: 12, followers: vec![2, 4, 10] },
-            Response::Anchored { t: 3, k: 5, size: 0, followers: vec![] },
-            Response::Followers { t: 1, k: 3, anchor: 14, followers: vec![13] },
-            Response::Best {
-                t: 7,
-                k: 3,
-                algo: BestAlgo::Olak,
-                anchors: vec![6, 9],
-                followers: vec![4, 5, 7, 8],
-                visited: 321,
-                probed: 45,
-            },
-            Response::Stats {
-                epochs: 9,
-                served: 100,
-                errors: 1,
-                p50_us: Some(40),
-                p99_us: Some(900),
-            },
-            Response::Stats { epochs: 1, served: 0, errors: 0, p50_us: None, p99_us: None },
-        ];
-        for response in cases {
-            let line = response.encode();
-            assert!(line.starts_with("OK "), "{line}");
-            assert!(!line.contains('\n'));
-            assert_eq!(Response::parse(&line).as_ref(), Ok(&response), "{line}");
-        }
-    }
-
-    #[test]
-    fn error_replies_surface_the_message() {
-        let reply: Result<Response, String> = Err("no such vertex\nreally".into());
-        let line = encode_reply(&reply);
-        assert_eq!(line, "ERR no such vertex really", "newlines must be collapsed");
-        assert_eq!(Response::parse(&line), Err("no such vertex really".into()));
-        assert!(Response::parse("gibberish").unwrap_err().contains("malformed"));
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_speak_the_text_form() {
+        // The legacy entry points must keep working (they are the public
+        // API PR 5 shipped); they now delegate to TextCodec.
+        let req = Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy };
+        assert_eq!(req.encode(), "BEST 3 2 greedy");
+        assert_eq!(Request::parse("BEST 3 2 greedy"), Ok(req));
+        let resp = Response::Core { t: 2, v: 9, core: 3 };
+        assert_eq!(resp.encode(), "OK core t=2 v=9 core=3");
+        assert_eq!(Response::parse("OK core t=2 v=9 core=3"), Ok(resp.clone()));
+        assert_eq!(encode_reply(&Ok(resp)), "OK core t=2 v=9 core=3");
+        assert_eq!(encode_reply(&Err("nope".into())), "ERR nope");
     }
 }

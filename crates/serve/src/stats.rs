@@ -1,16 +1,27 @@
 //! Service counters: lock-free recording, on-demand percentiles.
 //!
-//! The hot path (every query) touches only atomics — two counter bumps and
-//! one ring-slot store. Percentiles are computed lazily when a `STATS`
+//! The hot path (every query) touches only atomics — counter bumps and
+//! ring-slot stores. Percentiles are computed lazily when a `STATS`
 //! request asks, by copying the ring out and sorting the copy, so the cost
 //! lands on the observer rather than on the serving path.
+//!
+//! Besides the global latency ring, [`ServiceStats`] keeps one smaller
+//! ring **per opcode class** ([`OpClass`]): a `BEST` call costs orders of
+//! magnitude more than a `CORE` lookup, and a single mixed ring hides that
+//! skew exactly where a cost-aware scheduler would need to see it.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Number of recent latency samples retained for percentile estimates.
-/// A power of two keeps the modulo cheap; 1024 samples bound the estimate
-/// error without the ring ever growing with traffic.
+use crate::protocol::{OpClass, OpLatency};
+
+/// Number of recent latency samples retained for the global percentile
+/// estimates. A power of two keeps the modulo cheap; 1024 samples bound
+/// the estimate error without the ring ever growing with traffic.
 const RING_SLOTS: usize = 1024;
+
+/// Slots per per-opcode ring — smaller than the global ring because there
+/// are [`OpClass::COUNT`] of them and each sees only its own class.
+const OP_RING_SLOTS: usize = 256;
 
 /// A fixed-size ring of recent latency samples, written lock-free.
 ///
@@ -24,14 +35,19 @@ pub struct LatencyRing {
 
 impl Default for LatencyRing {
     fn default() -> Self {
-        LatencyRing {
-            slots: (0..RING_SLOTS).map(|_| AtomicU64::new(0)).collect(),
-            cursor: AtomicUsize::new(0),
-        }
+        LatencyRing::with_slots(RING_SLOTS)
     }
 }
 
 impl LatencyRing {
+    /// A ring retaining the `slots` most recent samples (`slots` ≥ 1).
+    pub fn with_slots(slots: usize) -> LatencyRing {
+        LatencyRing {
+            slots: (0..slots.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
     /// Record one sample (saturating at `u64::MAX - 1` µs, i.e. never).
     pub fn record(&self, micros: u64) {
         let at = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
@@ -65,6 +81,19 @@ pub fn percentile_of(samples: &mut [u64], p: f64) -> Option<u64> {
     Some(samples[rank.clamp(1, samples.len()) - 1])
 }
 
+/// Per-[`OpClass`] slice of the books: how many, how slow.
+#[derive(Debug)]
+struct OpCounters {
+    count: AtomicU64,
+    latency: LatencyRing,
+}
+
+impl Default for OpCounters {
+    fn default() -> Self {
+        OpCounters { count: AtomicU64::new(0), latency: LatencyRing::with_slots(OP_RING_SLOTS) }
+    }
+}
+
 /// Counters for one running service. All fields are monotone atomics; a
 /// `STATS` response is a point-in-time read, not a consistent snapshot —
 /// by design, reading stats must never stall the serving path.
@@ -76,22 +105,26 @@ pub struct ServiceStats {
     pub errors: AtomicU64,
     /// Latencies of recent queries (success or error), executor-side.
     pub latency: LatencyRing,
+    per_op: [OpCounters; OpClass::COUNT],
 }
 
 impl ServiceStats {
-    /// Record one finished query.
-    pub fn record(&self, ok: bool, micros: u64) {
+    /// Record one finished query of class `op`.
+    pub fn record(&self, op: OpClass, ok: bool, micros: u64) {
         if ok {
             self.served.fetch_add(1, Ordering::Relaxed);
         } else {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
         self.latency.record(micros);
+        let slot = &self.per_op[op.index()];
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.latency.record(micros);
     }
 
     /// Count a rejection that never reached the executor (a protocol parse
     /// failure). Bumps the error counter only — no fabricated latency
-    /// sample, so garbage traffic cannot skew the p50/p99 the ring backs.
+    /// sample, so garbage traffic cannot skew the p50/p99 the rings back.
     pub fn note_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
@@ -104,6 +137,25 @@ impl ServiceStats {
     /// Queries rejected so far.
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// One [`OpLatency`] per opcode class that has seen traffic, in
+    /// [`OpClass::ALL`] order. Quiet classes are omitted so a young
+    /// service reports a short list, not seven empty rows.
+    pub fn per_op_latencies(&self) -> Vec<OpLatency> {
+        OpClass::ALL
+            .iter()
+            .filter_map(|&op| {
+                let slot = &self.per_op[op.index()];
+                let count = slot.count.load(Ordering::Relaxed);
+                (count > 0).then(|| OpLatency {
+                    op,
+                    count,
+                    p50_us: slot.latency.percentile(50.0),
+                    p99_us: slot.latency.percentile(99.0),
+                })
+            })
+            .collect()
     }
 }
 
@@ -137,6 +189,19 @@ mod tests {
     }
 
     #[test]
+    fn sized_rings_respect_their_capacity() {
+        let ring = LatencyRing::with_slots(4);
+        for v in 0..100 {
+            ring.record(v);
+        }
+        assert_eq!(ring.samples().len(), 4);
+        // A zero request is clamped to one slot rather than panicking.
+        let tiny = LatencyRing::with_slots(0);
+        tiny.record(9);
+        assert_eq!(tiny.samples(), vec![9]);
+    }
+
+    #[test]
     fn percentile_of_edge_cases() {
         assert_eq!(percentile_of(&mut [], 50.0), None);
         assert_eq!(percentile_of(&mut [7], 1.0), Some(7));
@@ -149,12 +214,41 @@ mod tests {
     #[test]
     fn stats_counters_split_ok_and_errors() {
         let stats = ServiceStats::default();
-        stats.record(true, 5);
-        stats.record(true, 15);
-        stats.record(false, 25);
+        stats.record(OpClass::Core, true, 5);
+        stats.record(OpClass::Core, true, 15);
+        stats.record(OpClass::Best, false, 25);
         assert_eq!(stats.served(), 2);
         assert_eq!(stats.errors(), 1);
         assert_eq!(stats.latency.samples().len(), 3);
+    }
+
+    #[test]
+    fn per_op_rings_expose_the_cost_skew() {
+        let stats = ServiceStats::default();
+        for _ in 0..10 {
+            stats.record(OpClass::Core, true, 3);
+        }
+        stats.record(OpClass::Best, true, 9_000);
+        let per_op = stats.per_op_latencies();
+        assert_eq!(per_op.len(), 2, "only classes with traffic appear");
+        assert_eq!(per_op[0].op, OpClass::Core);
+        assert_eq!(per_op[0].count, 10);
+        assert_eq!(per_op[0].p50_us, Some(3));
+        assert_eq!(per_op[1].op, OpClass::Best);
+        assert_eq!(per_op[1].count, 1);
+        assert_eq!(per_op[1].p99_us, Some(9_000));
+        // The global ring mixes both; the per-op ring keeps them apart.
+        assert!(stats.latency.percentile(99.0).unwrap() >= 9_000);
+    }
+
+    #[test]
+    fn per_op_count_outlives_the_ring_window() {
+        let stats = ServiceStats::default();
+        for v in 0..(OP_RING_SLOTS as u64 * 2) {
+            stats.record(OpClass::Spectrum, true, v);
+        }
+        let per_op = stats.per_op_latencies();
+        assert_eq!(per_op[0].count, OP_RING_SLOTS as u64 * 2, "count is monotone, not windowed");
     }
 
     #[test]
@@ -165,12 +259,13 @@ mod tests {
                 let stats = std::sync::Arc::clone(&stats);
                 scope.spawn(move || {
                     for i in 0..500 {
-                        stats.record(i % 10 != 0, i);
+                        stats.record(OpClass::Core, i % 10 != 0, i);
                     }
                 });
             }
         });
         assert_eq!(stats.served() + stats.errors(), 2000);
         assert_eq!(stats.errors(), 200);
+        assert_eq!(stats.per_op_latencies()[0].count, 2000);
     }
 }

@@ -1,27 +1,38 @@
-//! The TCP front-end: newline-delimited protocol over a listener.
+//! The thread-per-connection TCP front-end (debug path / portability
+//! fallback).
 //!
-//! Deliberately thin — every connection gets a handler thread that parses
-//! lines into [`Request`]s and forwards them to the shared [`Service`]
-//! (whose bounded worker pool is where concurrency is actually governed).
-//! The front-end adds only connection-level concerns: a connection cap, an
-//! idle-poll read timeout so handlers notice a shutdown instead of
+//! Every connection gets a handler thread doing plain blocking reads, but
+//! the *protocol* work — codec sniffing, framing, pipelining, reply
+//! ordering — all lives in the shared [`Conn`] state machine, so this
+//! front speaks exactly what the epoll front
+//! ([`crate::event_loop::EventFront`]) speaks: text or binary, picked by
+//! the first byte. The differences are operational: a thread and stack
+//! per socket (fine for tens of clients, the reason the epoll front
+//! exists for thousands), and queries from one connection execute
+//! *sequentially* through [`Service::query`] rather than overlapping in
+//! the pool.
+//!
+//! Connection-level concerns are unchanged from PR 5: a connection cap,
+//! an idle-poll read timeout so handlers notice a shutdown instead of
 //! blocking in `read` forever, and the two connection verbs `QUIT` (close
 //! this connection) and `SHUTDOWN` (drain and stop the whole front-end).
 //!
-//! Shutdown protocol: the handler that reads `SHUTDOWN` acknowledges with
-//! `OK bye`, raises the shared flag, and pokes the listener with a
+//! Shutdown protocol: the handler that decodes a shutdown verb queues the
+//! `bye` ack, raises the shared flag, and pokes the listener with a
 //! loopback connect so the blocking `accept` wakes up; the accept loop
 //! then stops accepting and [`TcpFront::run`] returns once every handler
 //! has drained. The caller (the `avt-serve` binary) still owns the
 //! [`Service`] and shuts it down afterwards.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use crate::conn::Conn;
 use crate::executor::Service;
-use crate::protocol::{encode_reply, Request};
+use crate::protocol::Request;
 
 /// Front-end tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -111,10 +122,35 @@ impl TcpFront {
     }
 }
 
+/// Execute everything one ingest produced, sequentially, feeding replies
+/// back through the state machine (which may in turn release parked
+/// input). `Err` means the stream broke the protocol beyond recovery.
+fn run_queries(
+    conn: &mut Conn,
+    first: crate::conn::Ingested,
+    service: &Service,
+) -> Result<bool, String> {
+    let mut wants_shutdown = first.shutdown;
+    for _ in 0..first.malformed {
+        service.stats().note_error();
+    }
+    let mut queue: VecDeque<(u64, Request)> = first.queries.into();
+    while let Some((seq, request)) = queue.pop_front() {
+        let reply = service.query(request);
+        let released = conn.complete(seq, reply)?;
+        wants_shutdown |= released.shutdown;
+        for _ in 0..released.malformed {
+            service.stats().note_error();
+        }
+        queue.extend(released.queries);
+    }
+    Ok(wants_shutdown)
+}
+
 /// Drive one connection. Returns true when this client requested a
 /// service-wide shutdown.
 fn handle_connection(
-    stream: TcpStream,
+    mut stream: TcpStream,
     service: &Service,
     shutdown: &AtomicBool,
     idle_poll: Duration,
@@ -128,14 +164,23 @@ fn handle_connection(
         Ok(w) => w,
         Err(_) => return false,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut conn = Conn::new();
+    let mut buf = [0u8; 8 * 1024];
     loop {
-        // `read_line` appends to `line`, so a read split by the poll
-        // timeout accumulates across iterations instead of losing bytes.
-        match reader.read_line(&mut line) {
-            Ok(0) => return false, // client closed
-            Ok(_) => {}
+        let ingested = match stream.read(&mut buf) {
+            Ok(0) => {
+                conn.input_closed();
+                crate::conn::Ingested::default()
+            }
+            Ok(n) => match conn.ingest(&buf[..n]) {
+                Ok(ingested) => ingested,
+                Err(_protocol) => {
+                    // Flush what the peer is owed, then hang up: the
+                    // stream is unparseable from here on.
+                    let _ = writer.write_all(conn.pending_write());
+                    return false;
+                }
+            },
             Err(e)
                 if matches!(
                     e.kind(),
@@ -147,40 +192,32 @@ fn handle_connection(
                 }
                 continue;
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return false,
-        }
-        // Re-check between requests too: a client streaming back-to-back
+        };
+        // Re-check between bursts too: a client streaming back-to-back
         // queries never hits the timeout branch, and "drain" must not
         // mean "wait for every busy client to leave voluntarily".
         if shutdown.load(Ordering::Relaxed) {
             return false;
         }
-        let request = line.trim();
-        let verdict = match request.to_ascii_uppercase().as_str() {
-            "" => None, // blank keep-alive line
-            "QUIT" => return false,
-            "SHUTDOWN" => {
-                let _ = writer.write_all(b"OK bye\n");
-                return true;
-            }
-            _ => Some(match Request::parse(request) {
-                Ok(request) => service.query(request),
-                Err(message) => {
-                    // Protocol rejections count as errors too — a client
-                    // hammering garbage should show up in STATS (but not
-                    // in the latency ring; nothing was executed).
-                    service.stats().note_error();
-                    Err(message)
-                }
-            }),
-        };
-        line.clear();
-        if let Some(reply) = verdict {
-            let mut out = encode_reply(&reply);
-            out.push('\n');
-            if writer.write_all(out.as_bytes()).is_err() {
+        let wants_shutdown = match run_queries(&mut conn, ingested, service) {
+            Ok(wants_shutdown) => wants_shutdown,
+            Err(_protocol) => {
+                let _ = writer.write_all(conn.pending_write());
                 return false;
             }
+        };
+        let pending = conn.pending_write();
+        if !pending.is_empty() {
+            if writer.write_all(pending).is_err() {
+                return wants_shutdown;
+            }
+            let n = pending.len();
+            conn.advance_write(n);
+        }
+        if wants_shutdown || conn.done() {
+            return wants_shutdown;
         }
     }
 }
@@ -188,15 +225,27 @@ fn handle_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{Codec, TextCodec};
     use crate::executor::ServiceConfig;
     use crate::protocol::Response;
     use crate::timeline::LiveTimeline;
     use avt_graph::Graph;
+    use std::io::{BufRead, BufReader};
     use std::sync::Arc;
 
     fn triangle_service() -> Service {
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 0)]).unwrap();
         Service::start(Arc::new(LiveTimeline::new(g)), ServiceConfig::default())
+    }
+
+    /// Decode one text reply line through the codec (what a trait-driven
+    /// client does), asserting it parsed.
+    fn parse_reply(line: &str) -> Result<Response, String> {
+        let mut framed = line.as_bytes().to_vec();
+        framed.push(b'\n');
+        let (id, reply) = TextCodec.decode_response(&framed).expect("well-formed reply line");
+        assert_eq!(id, None, "text replies carry no wire id");
+        reply
     }
 
     struct Client {
@@ -233,16 +282,9 @@ mod tests {
 
             let mut client = Client::connect(addr);
             let reply = client.roundtrip("CORE 0");
-            assert_eq!(
-                Response::parse(&reply),
-                Ok(Response::Core { t: 1, v: 0, core: 2 }),
-                "{reply}"
-            );
+            assert_eq!(parse_reply(&reply), Ok(Response::Core { t: 1, v: 0, core: 2 }), "{reply}");
             let reply = client.roundtrip("SPECTRUM");
-            assert_eq!(
-                Response::parse(&reply),
-                Ok(Response::Spectrum { t: 1, shells: vec![0, 1, 3] })
-            );
+            assert_eq!(parse_reply(&reply), Ok(Response::Spectrum { t: 1, shells: vec![0, 1, 3] }));
             // Garbage gets an ERR and the connection stays usable.
             assert!(client.roundtrip("FROBNICATE").starts_with("ERR "));
             assert!(client.roundtrip("CORE 99").starts_with("ERR "));
@@ -278,6 +320,47 @@ mod tests {
             // reply lines.
             assert!(client.roundtrip("INFO").starts_with("OK info"));
             client.roundtrip("SHUTDOWN");
+            front.join().unwrap();
+        });
+        assert_eq!(service.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn binary_clients_share_the_fallback_port() {
+        use crate::binary::BinaryCodec;
+        let service = triangle_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let front = scope.spawn(|| {
+                TcpFront { idle_poll: Duration::from_millis(20), ..Default::default() }
+                    .run(listener, &service)
+                    .unwrap();
+            });
+            let codec = BinaryCodec;
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Pipeline two queries in one write, then the shutdown verb.
+            let mut wire = Vec::new();
+            codec.encode_request(11, &Request::Core(0), &mut wire);
+            codec.encode_request(22, &Request::Info, &mut wire);
+            codec.encode_shutdown(33, &mut wire);
+            stream.write_all(&wire).unwrap();
+            let mut bytes = Vec::new();
+            stream.read_to_end(&mut bytes).unwrap();
+            // Binary replies arrive in *completion* order and are matched
+            // by id — collect them into a map, as a real client would.
+            let mut got = std::collections::HashMap::new();
+            let mut at = 0;
+            while at < bytes.len() {
+                let len = codec.decode_frame(&bytes[at..]).unwrap().expect("whole frames");
+                let (id, reply) = codec.decode_response(&bytes[at..at + len]).unwrap();
+                got.insert(id.expect("binary replies carry ids"), reply);
+                at += len;
+            }
+            assert_eq!(got.len(), 3);
+            assert_eq!(got[&11], Ok(Response::Core { t: 1, v: 0, core: 2 }));
+            assert_eq!(got[&22], Ok(Response::Info { t: 1, n: 4, m: 4, epochs: 1 }));
+            assert_eq!(got[&33], Ok(Response::Bye));
             front.join().unwrap();
         });
         assert_eq!(service.shutdown().worker_panics, 0);
