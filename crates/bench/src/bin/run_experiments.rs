@@ -49,6 +49,11 @@ options:
                  to AVT_NO_CACHE=1): mmap runs spill fresh frames to tmp
                  instead of reusing — the knob for ruling out stale caches
                  when results look wrong
+  --kernel {scalar,branchless}
+                 scan-kernel family for the hot peel loops (default:
+                 AVT_KERNEL, else scalar). branchless uses masked/compress
+                 kernels with software prefetch; results are bit-identical
+                 at either setting, only wall time moves
   --out DIR      CSV output directory      (default results/)
 
 Real data: place SNAP downloads under $AVT_DATA_DIR (default data/) and
@@ -86,6 +91,12 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 let threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
                 avt_core::engine::set_default_threads(threads);
+            }
+            "--kernel" => {
+                let v = value()?;
+                let kernel = avt_kcore::Kernel::parse(&v)
+                    .ok_or(format!("--kernel: expected \"scalar\" or \"branchless\", got {v:?}"))?;
+                avt_kcore::kernels::set_kernel(kernel);
             }
             "--frame-source" => {
                 ctx.frame_source = match value()?.as_str() {
@@ -126,14 +137,16 @@ fn main() -> ExitCode {
     let ctx = &args.ctx;
     let all = datasets();
     eprintln!(
-        "# running '{}' at scale {} (T = {}, l = {}, seed = {}, engine threads = {}, frames = {})",
+        "# running '{}' at scale {} (T = {}, l = {}, seed = {}, engine threads = {}, \
+         frames = {}, kernel = {})",
         args.experiment,
         ctx.scale,
         ctx.snapshots,
         ctx.l,
         ctx.seed,
         avt_core::engine::default_threads(),
-        ctx.frame_source
+        ctx.frame_source,
+        avt_kcore::kernels::active()
     );
 
     let run_one = |name: &str| -> bool {

@@ -2,9 +2,9 @@
 
 use std::time::Duration;
 
-use avt_core::{AvtParams, AvtResult};
+use avt_core::{AvtParams, Metrics, SnapshotReport};
 use avt_datasets::Dataset;
-use avt_graph::GraphStats;
+use avt_graph::{GraphStats, VertexId};
 
 use crate::report::{secs, Table};
 use crate::{
@@ -22,8 +22,35 @@ fn l_axis(l_default: usize) -> Vec<usize> {
     [5usize, 10, 15, 20].iter().map(|&x| (x * l_default).div_ceil(10).max(1)).collect()
 }
 
-fn run(algo: &dyn Tracker, instance: &Instance, params: AvtParams) -> AvtResult {
-    algo.track(instance, params).expect("experiment datasets are internally consistent")
+/// Totals of one tracking run, folded from the report stream. The
+/// totals-only experiments consume exactly these four aggregates, so they
+/// fold them as reports arrive instead of buffering all `T` reports the
+/// way collecting into an `AvtResult` would.
+#[derive(Default)]
+struct Totals {
+    elapsed: Duration,
+    followers: usize,
+    metrics: Metrics,
+}
+
+fn track_totals(algo: &dyn Tracker, instance: &Instance, params: AvtParams) -> Totals {
+    let mut totals = Totals::default();
+    algo.track_into(instance, params, &mut |report| {
+        totals.elapsed += report.elapsed;
+        totals.followers += report.followers.len();
+        totals.metrics += report.metrics;
+    })
+    .expect("experiment datasets are internally consistent");
+    totals
+}
+
+/// Per-snapshot follower counts, folded streaming (one `usize` per
+/// snapshot retained — the axis Figure 12 plots — not the reports).
+fn track_follower_counts(algo: &dyn Tracker, instance: &Instance, params: AvtParams) -> Vec<usize> {
+    let mut counts = Vec::new();
+    algo.track_into(instance, params, &mut |report| counts.push(report.followers.len()))
+        .expect("experiment datasets are internally consistent");
+    counts
 }
 
 /// Table 2: statistics of the generated stand-ins next to the paper's
@@ -74,14 +101,13 @@ pub fn fig3_4(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
             let k = calibrate_k(&inst.evolving, k_paper);
             let params = AvtParams::new(k, ctx.l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &inst, params);
-                let m = result.total_metrics();
+                let totals = track_totals(algo.as_ref(), &inst, params);
                 time.push_row(vec![
                     ds.spec().name.into(),
                     k_paper.to_string(),
                     k.to_string(),
                     algo.name().into(),
-                    secs(result.total_elapsed()),
+                    secs(totals.elapsed),
                 ]);
                 if algo.name() != "RCM" {
                     // Figure 4 plots OLAK / Greedy / IncAVT only.
@@ -90,8 +116,8 @@ pub fn fig3_4(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
                         k_paper.to_string(),
                         k.to_string(),
                         algo.name().into(),
-                        m.vertices_visited.to_string(),
-                        m.candidates_probed.to_string(),
+                        totals.metrics.vertices_visited.to_string(),
+                        totals.metrics.candidates_probed.to_string(),
                     ]);
                 }
             }
@@ -164,19 +190,19 @@ pub fn fig7_8(ctx: &Context, datasets: &[Dataset]) -> (Table, Table) {
         for l in l_axis(ctx.l) {
             let params = AvtParams::new(k, l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &inst, params);
+                let totals = track_totals(algo.as_ref(), &inst, params);
                 time.push_row(vec![
                     ds.spec().name.into(),
                     l.to_string(),
                     algo.name().into(),
-                    secs(result.total_elapsed()),
+                    secs(totals.elapsed),
                 ]);
                 if algo.name() != "RCM" {
                     visited.push_row(vec![
                         ds.spec().name.into(),
                         l.to_string(),
                         algo.name().into(),
-                        result.total_metrics().vertices_visited.to_string(),
+                        totals.metrics.vertices_visited.to_string(),
                     ]);
                 }
             }
@@ -229,12 +255,12 @@ pub fn fig10(ctx: &Context, datasets: &[Dataset]) -> Table {
         for l in l_axis(ctx.l) {
             let params = AvtParams::new(k, l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &inst, params);
+                let totals = track_totals(algo.as_ref(), &inst, params);
                 table.push_row(vec![
                     ds.spec().name.into(),
                     l.to_string(),
                     algo.name().into(),
-                    result.total_followers().to_string(),
+                    totals.followers.to_string(),
                 ]);
             }
         }
@@ -255,12 +281,12 @@ pub fn fig11(ctx: &Context, datasets: &[Dataset]) -> Table {
             let k = calibrate_k(&inst.evolving, k_paper);
             let params = AvtParams::new(k, ctx.l);
             for algo in algorithms() {
-                let result = run(algo.as_ref(), &inst, params);
+                let totals = track_totals(algo.as_ref(), &inst, params);
                 table.push_row(vec![
                     ds.spec().name.into(),
                     format!("{k_paper}/{k}"),
                     algo.name().into(),
-                    result.total_followers().to_string(),
+                    totals.followers.to_string(),
                 ]);
             }
         }
@@ -280,18 +306,14 @@ pub fn fig12(ctx: &Context) -> Table {
         &["T", "algorithm", "followers"],
     );
     let brute = engine_tracker(brute_force_reference());
-    let mut runs: Vec<(String, AvtResult)> = algorithms()
+    let mut runs: Vec<(String, Vec<usize>)> = algorithms()
         .iter()
-        .map(|a| (a.name().to_string(), run(a.as_ref(), &inst, params)))
+        .map(|a| (a.name().to_string(), track_follower_counts(a.as_ref(), &inst, params)))
         .collect();
-    runs.push(("Brute-force".into(), run(brute.as_ref(), &inst, params)));
+    runs.push(("Brute-force".into(), track_follower_counts(brute.as_ref(), &inst, params)));
     for t in 1..=snapshots {
-        for (name, result) in &runs {
-            table.push_row(vec![
-                t.to_string(),
-                name.clone(),
-                result.follower_counts[t - 1].to_string(),
-            ]);
+        for (name, counts) in &runs {
+            table.push_row(vec![t.to_string(), name.clone(), counts[t - 1].to_string()]);
         }
     }
     table
@@ -310,17 +332,24 @@ pub fn table4(ctx: &Context) -> Table {
         ),
         &["algorithm", "anchors", "followers"],
     );
+    // T = 1 here, so streaming yields exactly one report per tracker; keep
+    // just that one instead of materializing a whole `AvtResult`.
+    let first_report = |algo: &dyn Tracker| -> SnapshotReport {
+        let mut first: Option<SnapshotReport> = None;
+        algo.track_into(&inst, params, &mut |report| {
+            first.get_or_insert(report);
+        })
+        .expect("experiment datasets are internally consistent");
+        first.expect("tracking a 1-snapshot stream yields a report")
+    };
     let brute = engine_tracker(brute_force_reference());
-    let mut entries: Vec<(String, AvtResult)> =
-        vec![("Brute-force".into(), run(brute.as_ref(), &inst, params))];
+    let mut entries: Vec<(String, SnapshotReport)> =
+        vec![("Brute-force".into(), first_report(brute.as_ref()))];
     for algo in algorithms() {
-        entries.push((algo.name().to_string(), run(algo.as_ref(), &inst, params)));
+        entries.push((algo.name().to_string(), first_report(algo.as_ref())));
     }
-    for (name, result) in entries {
-        let report = &result.reports[0];
-        let fmt = |v: &[avt_graph::VertexId]| {
-            v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
-        };
+    for (name, report) in entries {
+        let fmt = |v: &[VertexId]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ");
         table.push_row(vec![name, fmt(&report.anchors), fmt(&report.followers)]);
     }
     table

@@ -38,6 +38,7 @@
 
 use avt_graph::{Graph, GraphView, VertexId};
 use avt_kcore::decompose::CoreDecomposition;
+use avt_kcore::kernels;
 
 use crate::metrics::Metrics;
 
@@ -82,6 +83,7 @@ pub struct AnchoredCoreState<'g, G: GraphView = Graph> {
     support: Vec<u32>,
     region: Vec<VertexId>,
     queue: Vec<VertexId>,
+    targets: Vec<VertexId>,
 }
 
 impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
@@ -109,6 +111,7 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
             support: vec![0; n],
             region: Vec::new(),
             queue: Vec::new(),
+            targets: Vec::new(),
         };
         for &a in anchors {
             st.is_anchor[a as usize] = true;
@@ -120,7 +123,7 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
     /// Recompute the anchored decomposition. O(n + m).
     fn rebuild(&mut self) {
         self.decomp = CoreDecomposition::compute_with_anchor_flags(self.graph, &self.is_anchor);
-        self.core_size = self.decomp.cores().iter().filter(|&&c| c >= self.k).count();
+        self.core_size = (kernels::ops().count_members_ge)(self.decomp.cores(), self.k);
         self.metrics.rebuilds += 1;
         self.metrics.vertices_visited += self.graph.num_vertices() as u64;
     }
@@ -262,34 +265,56 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
             return; // anchoring a core member or an anchor gains nothing
         }
 
-        // Seeds: neighbours v of x in the (k-1)-shell with x ⪯ v. (If
-        // core(x) < k-1 the order condition is automatic.)
-        let mut head = self.region.len();
-        for &v in self.graph.neighbors(x) {
-            if self.decomp.core(v) == shell
-                && (!ordered || self.decomp.precedes(x, v))
-                && self.in_region[v as usize] != epoch
-            {
-                self.in_region[v as usize] = epoch;
-                self.region.push(v);
-            }
+        let ops = kernels::ops();
+        let mut targets = std::mem::take(&mut self.targets);
+
+        // Seeds: neighbours v of x in the (k-1)-shell with x ⪯ v. Both are
+        // shell vertices when the order matters, so `x ⪯ v` is a removal-
+        // position comparison; with core(x) < k-1 it is automatic. The
+        // kernels take that as a position floor: `min_pos = 0` disables the
+        // condition (also the unordered OLAK variant).
+        let seed_min_pos =
+            if ordered && self.decomp.core(x) == shell { self.decomp.pos(x) + 1 } else { 0 };
+        {
+            let ctx = kernels::RegionCtx {
+                cores: self.decomp.cores(),
+                pos: self.decomp.positions(),
+                stamp: &self.in_region,
+                epoch,
+                shell,
+                x,
+            };
+            (ops.filter_region)(&ctx, self.graph.neighbors(x), seed_min_pos, &mut targets);
+        }
+        for &v in &targets {
+            self.in_region[v as usize] = epoch;
+            self.region.push(v);
         }
 
-        // Forward closure: v → w with core(w) = k-1 and v ⪯ w. (In the
-        // unordered OLAK variant the ⪯ condition is dropped.)
+        // Forward closure: v → w with core(w) = k-1 and v ⪯ w (both shell
+        // vertices, so again a position floor; dropped when unordered).
+        let mut head = 0usize;
         while head < self.region.len() {
             let v = self.region[head];
             head += 1;
-            for i in 0..self.graph.degree(v) {
-                let w = self.graph.neighbors(v)[i];
-                if self.decomp.core(w) == shell
-                    && self.in_region[w as usize] != epoch
-                    && w != x
-                    && (!ordered || self.decomp.precedes(v, w))
-                {
-                    self.in_region[w as usize] = epoch;
-                    self.region.push(w);
-                }
+            if ops.prefetch_ahead && head < self.region.len() {
+                kernels::prefetch(self.graph.neighbors(self.region[head]));
+            }
+            let min_pos = if ordered { self.decomp.pos(v) + 1 } else { 0 };
+            {
+                let ctx = kernels::RegionCtx {
+                    cores: self.decomp.cores(),
+                    pos: self.decomp.positions(),
+                    stamp: &self.in_region,
+                    epoch,
+                    shell,
+                    x,
+                };
+                (ops.filter_region)(&ctx, self.graph.neighbors(v), min_pos, &mut targets);
+            }
+            for &w in &targets {
+                self.in_region[w as usize] = epoch;
+                self.region.push(w);
             }
         }
         self.metrics.vertices_visited += self.region.len() as u64;
@@ -298,12 +323,17 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
         // the anchor x, and unremoved region peers.
         for ri in 0..self.region.len() {
             let v = self.region[ri];
-            let mut s = 0u32;
-            for &w in self.graph.neighbors(v) {
-                if w == x || self.decomp.core(w) >= self.k || self.in_region[w as usize] == epoch {
-                    s += 1;
-                }
+            if ops.prefetch_ahead && ri + 1 < self.region.len() {
+                kernels::prefetch(self.graph.neighbors(self.region[ri + 1]));
             }
+            let s = (ops.count_region_support)(
+                self.graph.neighbors(v),
+                self.decomp.cores(),
+                &self.in_region,
+                epoch,
+                x,
+                self.k,
+            );
             self.support[v as usize] = s;
         }
 
@@ -315,26 +345,35 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
                 self.queue.push(v);
             }
         }
+        // Fixpoint: pre-filtering each popped vertex's range is exact —
+        // neighbour lists hold distinct vertices, so the stamps written
+        // while applying one range can't affect its own later entries.
         let mut qhead = 0usize;
         while qhead < self.queue.len() {
             let v = self.queue[qhead];
             qhead += 1;
             self.removed[v as usize] = epoch;
-            for i in 0..self.graph.degree(v) {
-                let w = self.graph.neighbors(v)[i];
+            if ops.prefetch_ahead && qhead < self.queue.len() {
+                kernels::prefetch(self.graph.neighbors(self.queue[qhead]));
+            }
+            (ops.filter_alive)(
+                self.graph.neighbors(v),
+                &self.in_region,
+                &self.removed,
+                &self.queued,
+                epoch,
+                &mut targets,
+            );
+            for &w in &targets {
                 let wi = w as usize;
-                if self.in_region[wi] == epoch
-                    && self.removed[wi] != epoch
-                    && self.queued[wi] != epoch
-                {
-                    self.support[wi] -= 1;
-                    if self.support[wi] < self.k {
-                        self.queued[wi] = epoch;
-                        self.queue.push(w);
-                    }
+                self.support[wi] -= 1;
+                if self.support[wi] < self.k {
+                    self.queued[wi] = epoch;
+                    self.queue.push(w);
                 }
             }
         }
+        self.targets = targets;
     }
 
     /// Commit `x` as an anchor: followers join the core, core numbers are
@@ -375,28 +414,42 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
     pub fn candidates(&mut self) -> Vec<VertexId> {
         let epoch = self.next_epoch();
         let shell = self.k - 1;
+        let ops = kernels::ops();
+        let mut targets = std::mem::take(&mut self.targets);
         let mut out = Vec::new();
         for v in 0..self.graph.num_vertices() as VertexId {
             if self.decomp.core(v) != shell {
                 continue;
             }
             self.metrics.vertices_visited += 1;
-            for &x in self.graph.neighbors(v) {
-                let xi = x as usize;
-                if self.in_region[xi] == epoch
-                    || self.is_anchor[xi]
-                    || self.decomp.core(x) >= self.k
-                    || !self.decomp.precedes(x, v)
-                {
-                    continue;
-                }
-                self.in_region[xi] = epoch;
+            // Keep x with `x ⪯ v`: core below the shell, or equal core and
+            // earlier removal. Anchors and core members fail both arms
+            // (their core is >= k > shell), so no separate tests needed.
+            {
+                let ctx = kernels::RegionCtx {
+                    cores: self.decomp.cores(),
+                    pos: self.decomp.positions(),
+                    stamp: &self.in_region,
+                    epoch,
+                    shell,
+                    x: VertexId::MAX,
+                };
+                (ops.filter_preceding)(
+                    &ctx,
+                    self.graph.neighbors(v),
+                    self.decomp.pos(v),
+                    &mut targets,
+                );
+            }
+            for &x in &targets {
+                self.in_region[x as usize] = epoch;
                 out.push(x);
             }
             // A shell vertex can anchor itself if it precedes a fellow
             // shell neighbour — that case is covered by the scan above when
             // the roles are swapped, so nothing more to do here.
         }
+        self.targets = targets;
         out
     }
 
@@ -406,6 +459,8 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
     pub fn candidates_unordered(&mut self) -> Vec<VertexId> {
         let epoch = self.next_epoch();
         let shell = self.k - 1;
+        let ops = kernels::ops();
+        let mut targets = std::mem::take(&mut self.targets);
         let mut out = Vec::new();
         for v in 0..self.graph.num_vertices() as VertexId {
             if self.decomp.core(v) != shell {
@@ -416,18 +471,22 @@ impl<'g, G: GraphView> AnchoredCoreState<'g, G> {
                 self.in_region[v as usize] = epoch;
                 out.push(v);
             }
-            for &x in self.graph.neighbors(v) {
-                let xi = x as usize;
-                if self.in_region[xi] == epoch
-                    || self.is_anchor[xi]
-                    || self.decomp.core(x) >= self.k
-                {
-                    continue;
-                }
-                self.in_region[xi] = epoch;
+            // Keep unstamped x with core(x) < k; anchors fail that test
+            // outright (their core is ANCHOR_CORE).
+            (ops.filter_below_unmarked)(
+                self.graph.neighbors(v),
+                self.decomp.cores(),
+                &self.in_region,
+                epoch,
+                self.k,
+                &mut targets,
+            );
+            for &x in &targets {
+                self.in_region[x as usize] = epoch;
                 out.push(x);
             }
         }
+        self.targets = targets;
         out
     }
 }
@@ -452,6 +511,7 @@ impl<'g, G: GraphView> Clone for AnchoredCoreState<'g, G> {
             support: vec![0; n],
             region: Vec::new(),
             queue: Vec::new(),
+            targets: Vec::new(),
         }
     }
 }

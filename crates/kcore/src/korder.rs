@@ -9,6 +9,7 @@
 use avt_graph::{GraphView, VertexId};
 
 use crate::decompose::CoreDecomposition;
+use crate::kernels;
 
 /// Level sentinel for vertices that are mid-surgery (removed from one level
 /// and not yet installed in another). No query may observe this state.
@@ -142,11 +143,19 @@ impl KOrder {
         self.order_key(u) < self.order_key(v)
     }
 
+    /// Raw level array (no detached-vertex checks — [`DETACHED`] is
+    /// `u32::MAX`, which compares after every live level, matching
+    /// release-mode `order_key` semantics). For the scan kernels.
+    #[inline]
+    pub(crate) fn levels_raw(&self) -> &[u32] {
+        &self.level
+    }
+
     /// Remaining degree `deg+(v)` = number of neighbours ordered after `v`.
     /// O(deg(v)).
     pub fn deg_plus<G: GraphView>(&self, graph: &G, v: VertexId) -> u32 {
-        let key = self.order_key(v);
-        graph.neighbors(v).iter().filter(|&&w| self.order_key(w) > key).count() as u32
+        let (lvl, lab) = self.order_key(v);
+        (kernels::ops().count_korder_after)(graph.neighbors(v), &self.level, &self.label, lvl, lab)
     }
 
     /// Iterate the live vertices of `lvl` in K-order.

@@ -38,6 +38,7 @@
 
 use avt_graph::{EdgeBatch, Graph, GraphError, VertexId};
 
+use crate::kernels;
 use crate::korder::KOrder;
 
 /// Vertices whose core number changed while applying updates.
@@ -86,6 +87,8 @@ struct Scratch {
     queued: Vec<u32>,
     support: Vec<u32>,
     queue: Vec<VertexId>,
+    /// Per-vertex filter output reused across peel iterations.
+    targets: Vec<VertexId>,
 }
 
 impl Scratch {
@@ -97,6 +100,7 @@ impl Scratch {
             queued: vec![0; n],
             support: vec![0; n],
             queue: Vec::new(),
+            targets: Vec::new(),
         }
     }
 
@@ -303,24 +307,24 @@ impl MaintainedCore {
     /// peers) is ≤ `lvl`. Returns the removal order and the survivors (in
     /// member order).
     fn peel_level(&mut self, lvl: u32, members: &[VertexId]) -> (Vec<VertexId>, Vec<VertexId>) {
+        let ops = kernels::ops();
         let epoch = self.scratch.next_epoch();
         let sc = &mut self.scratch;
         for &m in members {
             sc.member[m as usize] = epoch;
         }
-        // Initial supports.
-        for &m in members {
-            let mut s = 0u32;
-            for &w in self.graph.neighbors(m) {
-                let wi = w as usize;
-                // Member check first: detached members must not reach
-                // `core()`. Peers count while unremoved; outsiders count
-                // when they live strictly above this level.
-                if sc.member[wi] == epoch || self.korder.core(w) > lvl {
-                    s += 1;
-                }
+        // Initial supports: member peers count while unremoved (checked
+        // first so detached members never reach `core()`), outsiders count
+        // when they live strictly above this level. The kernel reads the
+        // raw level array, where detachment's `u32::MAX` sentinel would
+        // compare as "above" — but no vertex is detached during a re-peel.
+        let level = self.korder.levels_raw();
+        for (i, &m) in members.iter().enumerate() {
+            if ops.prefetch_ahead && i + 1 < members.len() {
+                kernels::prefetch(self.graph.neighbors(members[i + 1]));
             }
-            sc.support[m as usize] = s;
+            sc.support[m as usize] =
+                (ops.count_marked_or_above)(self.graph.neighbors(m), level, &sc.member, epoch, lvl);
         }
         self.visited += members.len() as u64;
 
@@ -332,6 +336,11 @@ impl MaintainedCore {
             }
         }
 
+        // Fixpoint: each popped vertex decrements its still-alive member
+        // neighbours. Pre-filtering the whole range is exact — neighbour
+        // lists hold distinct vertices, so the stamps a pop writes can't
+        // affect later entries of its own range.
+        let mut targets = std::mem::take(&mut sc.targets);
         let mut order = Vec::with_capacity(members.len());
         let mut head = 0usize;
         while head < sc.queue.len() {
@@ -339,17 +348,27 @@ impl MaintainedCore {
             head += 1;
             sc.removed[x as usize] = epoch;
             order.push(x);
-            for &w in self.graph.neighbors(x) {
+            if ops.prefetch_ahead && head < sc.queue.len() {
+                kernels::prefetch(self.graph.neighbors(sc.queue[head]));
+            }
+            (ops.filter_alive)(
+                self.graph.neighbors(x),
+                &sc.member,
+                &sc.removed,
+                &sc.queued,
+                epoch,
+                &mut targets,
+            );
+            for &w in &targets {
                 let wi = w as usize;
-                if sc.member[wi] == epoch && sc.removed[wi] != epoch && sc.queued[wi] != epoch {
-                    sc.support[wi] -= 1;
-                    if sc.support[wi] <= lvl {
-                        sc.queued[wi] = epoch;
-                        sc.queue.push(w);
-                    }
+                sc.support[wi] -= 1;
+                if sc.support[wi] <= lvl {
+                    sc.queued[wi] = epoch;
+                    sc.queue.push(w);
                 }
             }
         }
+        sc.targets = targets;
         self.visited += order.len() as u64;
 
         let survivors: Vec<VertexId> =
@@ -415,12 +434,15 @@ impl MaintainedCore {
         if self.scratch.member[v as usize] == epoch {
             return;
         }
-        let mut s = 0u32;
-        for &w in self.graph.neighbors(v) {
-            if self.korder.core(w) >= k && self.scratch.queued[w as usize] != epoch {
-                s += 1;
-            }
-        }
+        // Raw level array: no vertex is detached during the cascade, so
+        // the kernel sees exactly what `core()` would return.
+        let s = (kernels::ops().count_ge_unmarked)(
+            self.graph.neighbors(v),
+            self.korder.levels_raw(),
+            &self.scratch.queued,
+            epoch,
+            k,
+        );
         self.scratch.support[v as usize] = s;
         self.scratch.member[v as usize] = epoch;
         self.visited += 1;

@@ -2,24 +2,26 @@
 
 use avt_graph::{GraphView, VertexId};
 
+use crate::kernels;
+
 /// `mcd(u)`: the number of `u`'s neighbours whose core number is at least
 /// `core(u)`. Always `mcd(u) >= core(u)` in a consistent state; a deletion
 /// that pushes `mcd(u)` below `core(u)` forces a core decrement (Lemma 4).
 pub fn max_core_degree<G: GraphView>(graph: &G, cores: &[u32], u: VertexId) -> u32 {
     let cu = cores[u as usize];
-    graph.neighbors(u).iter().filter(|&&w| cores[w as usize] >= cu).count() as u32
+    (kernels::ops().count_ge)(graph.neighbors(u), cores, cu)
 }
 
 /// `mcd` for every vertex in one pass. O(n + m).
 pub fn max_core_degrees<G: GraphView>(graph: &G, cores: &[u32]) -> Vec<u32> {
-    let mut mcd = vec![0u32; graph.num_vertices()];
+    let ops = kernels::ops();
+    let n = graph.num_vertices();
+    let mut mcd = vec![0u32; n];
     for u in graph.vertices() {
-        let cu = cores[u as usize];
-        for &w in graph.neighbors(u) {
-            if cores[w as usize] >= cu {
-                mcd[u as usize] += 1;
-            }
+        if ops.prefetch_ahead && (u as usize) + 1 < n {
+            kernels::prefetch(graph.neighbors(u + 1));
         }
+        mcd[u as usize] = (ops.count_ge)(graph.neighbors(u), cores, cores[u as usize]);
     }
     mcd
 }

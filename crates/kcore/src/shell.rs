@@ -2,14 +2,20 @@
 
 use avt_graph::VertexId;
 
-/// Vertices whose core number is at least `k` (the k-core `C_k`).
+use crate::kernels;
+
+/// Vertices whose core number is at least `k` (the k-core `C_k`). Dispatches
+/// through the [`kernels`] axis — this is the membership filter behind
+/// spectrum and `CORE` queries.
 pub fn k_core_members(cores: &[u32], k: u32) -> Vec<VertexId> {
-    cores.iter().enumerate().filter_map(|(v, &c)| (c >= k).then_some(v as VertexId)).collect()
+    let mut out = Vec::new();
+    (kernels::ops().members_ge)(cores, k, &mut out);
+    out
 }
 
 /// Size of the k-core without materializing it.
 pub fn k_core_size(cores: &[u32], k: u32) -> usize {
-    cores.iter().filter(|&&c| c >= k).count()
+    (kernels::ops().count_members_ge)(cores, k)
 }
 
 /// Vertices with core number exactly `c` (the c-shell). Followers of a

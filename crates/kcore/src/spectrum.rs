@@ -32,7 +32,8 @@ impl CoreSpectrum {
     }
 
     /// Decompose-and-summarize convenience; accepts any [`GraphView`]
-    /// substrate.
+    /// substrate. The peel underneath dispatches through the
+    /// [`crate::kernels`] axis, so spectra inherit the active kernel.
     pub fn of<G: GraphView>(graph: &G) -> Self {
         Self::from_decomposition(&CoreDecomposition::compute(graph))
     }

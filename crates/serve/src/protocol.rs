@@ -177,20 +177,6 @@ impl Request {
             Request::Stats => OpClass::Stats,
         }
     }
-
-    /// The text wire line for this request (no trailing newline).
-    #[deprecated(note = "wire formats are a codec concern: use \
-                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
-    pub fn encode(&self) -> String {
-        crate::codec::text_request_line(self)
-    }
-
-    /// Parse one text request line.
-    #[deprecated(note = "wire formats are a codec concern: use \
-                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
-    pub fn parse(line: &str) -> Result<Request, String> {
-        crate::codec::parse_text_request_line(line)
-    }
 }
 
 /// Latency summary of one opcode class, as reported by `STATS`.
@@ -302,32 +288,6 @@ pub enum Response {
     Bye,
 }
 
-impl Response {
-    /// The text wire line for this response (no trailing newline),
-    /// starting with `OK <kind>`.
-    #[deprecated(note = "wire formats are a codec concern: use \
-                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
-    pub fn encode(&self) -> String {
-        crate::codec::text_ok_line(self)
-    }
-
-    /// Parse one text response line (`ERR <message>` lines come back as
-    /// `Err(message)`).
-    #[deprecated(note = "wire formats are a codec concern: use \
-                         `TextCodec`/`BinaryCodec` through the `Codec` trait")]
-    pub fn parse(line: &str) -> Result<Response, String> {
-        crate::codec::parse_text_response_line(line)
-    }
-}
-
-/// Encode an executor verdict as the text wire line the server writes
-/// back.
-#[deprecated(note = "wire formats are a codec concern: use \
-                     `TextCodec`/`BinaryCodec` through the `Codec` trait")]
-pub fn encode_reply(reply: &Result<Response, String>) -> String {
-    crate::codec::text_reply_line(reply)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,20 +310,5 @@ mod tests {
         assert_eq!(Request::Anchored { k: 2, anchors: vec![] }.op_class(), OpClass::Anchored);
         assert_eq!(Request::Best { k: 3, b: 1, algo: BestAlgo::Olak }.op_class(), OpClass::Best);
         assert_eq!(Request::Stats.op_class(), OpClass::Stats);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_speak_the_text_form() {
-        // The legacy entry points must keep working (they are the public
-        // API PR 5 shipped); they now delegate to TextCodec.
-        let req = Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy };
-        assert_eq!(req.encode(), "BEST 3 2 greedy");
-        assert_eq!(Request::parse("BEST 3 2 greedy"), Ok(req));
-        let resp = Response::Core { t: 2, v: 9, core: 3 };
-        assert_eq!(resp.encode(), "OK core t=2 v=9 core=3");
-        assert_eq!(Response::parse("OK core t=2 v=9 core=3"), Ok(resp.clone()));
-        assert_eq!(encode_reply(&Ok(resp)), "OK core t=2 v=9 core=3");
-        assert_eq!(encode_reply(&Err("nope".into())), "ERR nope");
     }
 }

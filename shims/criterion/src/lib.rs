@@ -8,9 +8,24 @@
 //!
 //! Set `AVT_BENCH_SMOKE=1` to run every benchmark body exactly once (CI
 //! smoke mode: catches harness rot without burning minutes).
+//!
+//! Besides the plain-text report, every run records each benchmark's
+//! *median* wall-clock sample, and the generated `criterion_main!` writes
+//! them as a flat `{"group/name": nanoseconds}` JSON map on exit — to
+//! `$AVT_BENCH_JSON` when that is set, else to `BENCH_7.json` in the
+//! working directory when smoke mode is on (so CI smoke runs always leave
+//! an artifact). Bench binaries run sequentially under `cargo bench`, and
+//! the writer merges into an existing file, so one artifact accumulates
+//! every group.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Medians recorded by [`report`], drained by [`write_bench_json`].
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 pub use std::hint::black_box;
 
@@ -148,13 +163,95 @@ fn report(label: &str, samples: &[Duration]) {
     let mean = total / samples.len() as u32;
     let min = samples.iter().min().copied().unwrap_or_default();
     let max = samples.iter().max().copied().unwrap_or_default();
+    let median = median_of(samples);
     println!(
-        "{label:<60} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+        "{label:<60} median {:>12?}  mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+        median,
         mean,
         min,
         max,
         samples.len()
     );
+    let mut results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    results.push((label.to_string(), median.as_nanos()));
+}
+
+fn median_of(samples: &[Duration]) -> Duration {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Write every median recorded so far as a flat `{"label": nanoseconds}`
+/// JSON map, merging into the file if it already exists (bench binaries
+/// run one after another; each adds its groups to the same artifact).
+///
+/// Destination: `$AVT_BENCH_JSON` when set; else `BENCH_7.json` in the
+/// working directory when `AVT_BENCH_SMOKE` is on; else nowhere (plain
+/// `cargo bench` stays report-only). Called by the `criterion_main!`-
+/// generated `main` after all groups finish.
+pub fn write_bench_json() {
+    let explicit = std::env::var_os("AVT_BENCH_JSON").filter(|v| !v.is_empty());
+    let path = match (explicit, smoke_mode()) {
+        (Some(p), _) => PathBuf::from(p),
+        (None, true) => PathBuf::from("BENCH_7.json"),
+        (None, false) => return,
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    let mut merged = match std::fs::read_to_string(&path) {
+        Ok(text) => parse_flat_json(&text),
+        Err(_) => BTreeMap::new(),
+    };
+    for (label, ns) in results.iter() {
+        merged.insert(label.clone(), *ns);
+    }
+    match std::fs::write(&path, render_flat_json(&merged)) {
+        Ok(()) => println!("bench medians written to {}", path.display()),
+        Err(e) => eprintln!("criterion shim: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Parse the flat map this shim writes. Labels are `group/name` strings
+/// without quotes or backslashes, so a quote-to-quote scan is exact for
+/// our own output (and harmlessly lossy on anything else).
+fn parse_flat_json(text: &str) -> BTreeMap<String, u128> {
+    let mut map = BTreeMap::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = rest[..end].to_string();
+        rest = &rest[end + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        let digits: String =
+            rest[colon + 1..].trim_start().chars().take_while(char::is_ascii_digit).collect();
+        rest = &rest[colon + 1..];
+        if let Ok(ns) = digits.parse::<u128>() {
+            map.insert(key, ns);
+        }
+    }
+    map
+}
+
+fn render_flat_json(map: &BTreeMap<String, u128>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (label, ns)) in map.iter().enumerate() {
+        out.push_str(&format!("  \"{label}\": {ns}"));
+        if i + 1 < map.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// Bundle benchmark functions into a named group runner, mirroring
@@ -178,6 +275,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json();
         }
     };
 }
@@ -211,5 +309,29 @@ mod tests {
     fn benchmark_id_formats_parameter() {
         let id = BenchmarkId::new("greedy", 42);
         assert_eq!(id.label, "greedy/42");
+    }
+
+    #[test]
+    fn median_is_order_free() {
+        let ms = |n| Duration::from_millis(n);
+        assert_eq!(median_of(&[ms(9), ms(1), ms(5)]), ms(5));
+        assert_eq!(median_of(&[ms(8), ms(2)]), ms(5));
+        assert_eq!(median_of(&[ms(7)]), ms(7));
+    }
+
+    #[test]
+    fn flat_json_round_trips_and_merges() {
+        let mut map = BTreeMap::new();
+        map.insert("kernels/peel/scalar".to_string(), 123_456u128);
+        map.insert("kernels/peel/branchless".to_string(), 98_765u128);
+        let text = render_flat_json(&map);
+        assert_eq!(parse_flat_json(&text), map);
+        assert_eq!(parse_flat_json(""), BTreeMap::new());
+        assert_eq!(parse_flat_json("{}\n"), BTreeMap::new());
+        // Merging overwrites stale entries and keeps foreign ones.
+        let mut merged = parse_flat_json(&text);
+        merged.insert("kernels/peel/scalar".to_string(), 1u128);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged["kernels/peel/scalar"], 1);
     }
 }

@@ -1,0 +1,227 @@
+//! Kernel-equivalence property tests: the branchless table must be
+//! bit-identical to the scalar one on every consumer — core numbers,
+//! removal order, spectra, mcd, follower sets, candidate sets, Greedy/OLAK
+//! anchor picks, and maintained cores under churn — on both the resident
+//! CSR substrate and the zero-copy mapped one.
+//!
+//! The kernel axis is process-global (`AVT_KERNEL` resolves into one
+//! atomic), so every test serializes through [`KERNEL_LOCK`] and restores
+//! the scalar default before releasing it; the harness's parallel test
+//! threads otherwise would observe each other's kernel flips.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use avt::algo::{AnchoredCoreState, AvtParams, Greedy, Olak};
+use avt::datasets::ba::barabasi_albert;
+use avt::datasets::churn::{evolve, ChurnConfig};
+use avt::graph::io::write_csrbin_file;
+use avt::graph::{CsrGraph, Graph, GraphView, MmapCsr, VertexId};
+use avt::kcore::kernels::{self, Kernel};
+use avt::kcore::{
+    k_core_members, max_core_degrees, CoreDecomposition, CoreSpectrum, MaintainedCore,
+};
+use avt::prelude::AvtAlgorithm;
+use avt_kcore::verify::assert_korder_valid;
+use proptest::prelude::*;
+
+/// One lock around every kernel flip in this binary (see module docs).
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn kernel_guard() -> MutexGuard<'static, ()> {
+    KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` under `kernel`, restoring the scalar default afterwards. The
+/// caller holds [`KERNEL_LOCK`].
+fn with_kernel<T>(kernel: Kernel, f: impl FnOnce() -> T) -> T {
+    kernels::set_kernel(kernel);
+    let out = f();
+    kernels::set_kernel(Kernel::Scalar);
+    out
+}
+
+fn temp_file(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("avt_prop_kernels_{}_{tag}_{seq}.csrbin", std::process::id()))
+}
+
+fn graph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (5..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+fn build(n: usize, pairs: &[(u32, u32)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v) in pairs {
+        if u != v && !g.has_edge(u, v) {
+            g.insert_edge(u, v).unwrap();
+        }
+    }
+    g
+}
+
+/// Everything a decomposition exposes, flattened for whole-value equality:
+/// core numbers, removal order, positions, per-vertex `deg_plus`, shell
+/// histogram, per-k core membership, and mcd.
+#[derive(Debug, PartialEq, Eq)]
+struct DecompFingerprint {
+    cores: Vec<u32>,
+    order: Vec<VertexId>,
+    pos: Vec<u32>,
+    deg_plus: Vec<u32>,
+    shells: Vec<usize>,
+    members: Vec<Vec<VertexId>>,
+    mcd: Vec<u32>,
+}
+
+fn decomp_fingerprint<G: GraphView>(graph: &G) -> DecompFingerprint {
+    let d = CoreDecomposition::compute(graph);
+    let spectrum = CoreSpectrum::from_decomposition(&d);
+    let members = (0..=d.max_core() + 1).map(|k| k_core_members(d.cores(), k)).collect();
+    DecompFingerprint {
+        deg_plus: graph.vertices().map(|v| d.deg_plus(graph, v)).collect(),
+        mcd: max_core_degrees(graph, d.cores()),
+        shells: spectrum.shells().to_vec(),
+        members,
+        cores: d.cores().to_vec(),
+        order: d.order().to_vec(),
+        pos: d.positions().to_vec(),
+    }
+}
+
+/// Every follower/candidate answer the anchored-core engine gives,
+/// flattened for whole-value equality.
+#[derive(Debug, PartialEq, Eq)]
+struct FollowerFingerprint {
+    ordered: Vec<Vec<VertexId>>,
+    unordered: Vec<Vec<VertexId>>,
+    counts: Vec<usize>,
+    candidates: Vec<VertexId>,
+    candidates_unordered: Vec<VertexId>,
+}
+
+fn follower_fingerprint<G: GraphView>(graph: &G, k: u32) -> FollowerFingerprint {
+    let mut state = AnchoredCoreState::new(graph, k);
+    FollowerFingerprint {
+        ordered: graph.vertices().map(|x| state.followers_of(x)).collect(),
+        unordered: graph.vertices().map(|x| state.followers_of_unordered(x)).collect(),
+        counts: graph.vertices().map(|x| state.follower_count_of(x)).collect(),
+        candidates: state.candidates(),
+        candidates_unordered: state.candidates_unordered(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decomposition, K-order tie-break data, spectra, membership, and mcd
+    /// are bit-identical across kernels on all three substrates.
+    #[test]
+    fn decomposition_is_kernel_invariant((n, pairs) in graph_strategy(40, 150)) {
+        let _guard = kernel_guard();
+        let g = build(n, &pairs);
+        let csr = CsrGraph::from_graph(&g);
+        let path = temp_file("decomp");
+        write_csrbin_file(&csr, &path).unwrap();
+        let mapped = MmapCsr::open(&path).unwrap();
+
+        let scalar = with_kernel(Kernel::Scalar, || decomp_fingerprint(&g));
+        let branchless = with_kernel(Kernel::Branchless, || decomp_fingerprint(&g));
+        prop_assert_eq!(&scalar, &branchless, "mutable adjacency substrate");
+
+        let scalar_csr = with_kernel(Kernel::Scalar, || decomp_fingerprint(&csr));
+        let branchless_csr = with_kernel(Kernel::Branchless, || decomp_fingerprint(&csr));
+        prop_assert_eq!(&scalar_csr, &branchless_csr, "resident CSR substrate");
+
+        let scalar_map = with_kernel(Kernel::Scalar, || decomp_fingerprint(&mapped));
+        let branchless_map = with_kernel(Kernel::Branchless, || decomp_fingerprint(&mapped));
+        prop_assert_eq!(&scalar_map, &branchless_map, "mapped CSR substrate");
+
+        // Removal order legitimately differs between the mutable adjacency
+        // and the CSR layouts (neighbour iteration order breaks peel ties),
+        // but the order-free answers must agree everywhere.
+        prop_assert_eq!(&scalar.cores, &scalar_csr.cores, "cores are substrate-invariant");
+        prop_assert_eq!(&scalar.mcd, &scalar_csr.mcd, "mcd is substrate-invariant");
+        prop_assert_eq!(&scalar.shells, &scalar_csr.shells, "spectra are substrate-invariant");
+        prop_assert_eq!(&scalar_csr, &scalar_map, "the two CSR substrates agree exactly");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Follower sets (ordered and OLAK-unordered), counts, and both
+    /// candidate scans are bit-identical across kernels, resident + mmap.
+    #[test]
+    fn followers_are_kernel_invariant((n, pairs) in graph_strategy(28, 100), k in 2u32..5) {
+        let _guard = kernel_guard();
+        let g = build(n, &pairs);
+        let csr = CsrGraph::from_graph(&g);
+        let path = temp_file("followers");
+        write_csrbin_file(&csr, &path).unwrap();
+        let mapped = MmapCsr::open(&path).unwrap();
+
+        let scalar = with_kernel(Kernel::Scalar, || follower_fingerprint(&g, k));
+        let branchless = with_kernel(Kernel::Branchless, || follower_fingerprint(&g, k));
+        prop_assert_eq!(&scalar, &branchless, "mutable adjacency, k = {}", k);
+
+        let scalar_map = with_kernel(Kernel::Scalar, || follower_fingerprint(&mapped, k));
+        let branchless_map = with_kernel(Kernel::Branchless, || follower_fingerprint(&mapped, k));
+        prop_assert_eq!(&scalar_map, &branchless_map, "mapped CSR, k = {}", k);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// End-to-end anchor selection: Greedy and OLAK pick identical anchor
+    /// sequences and follower counts under either kernel on BA churn.
+    #[test]
+    fn tracking_is_kernel_invariant(
+        n in 30usize..80,
+        seed in 0u64..500,
+        k in 2u32..4,
+    ) {
+        let _guard = kernel_guard();
+        let base = barabasi_albert(n, 3, seed);
+        let config = ChurnConfig { snapshots: 3, ..ChurnConfig::default() };
+        let eg = evolve(base, config, seed.wrapping_add(1));
+        let params = AvtParams::new(k, 2);
+
+        let run = || {
+            let g = Greedy::default().track(&eg, params).expect("churn stream is consistent");
+            let o = Olak.track(&eg, params).expect("churn stream is consistent");
+            (g.anchor_sets, g.follower_counts, o.anchor_sets, o.follower_counts)
+        };
+        let scalar = with_kernel(Kernel::Scalar, run);
+        let branchless = with_kernel(Kernel::Branchless, run);
+        prop_assert_eq!(scalar, branchless);
+    }
+
+    /// Incremental maintenance under churn: per-snapshot cores match the
+    /// scalar run everywhere and the branchless K-order stays valid.
+    #[test]
+    fn maintenance_is_kernel_invariant(
+        n in 25usize..60,
+        seed in 0u64..500,
+    ) {
+        let _guard = kernel_guard();
+        let base = barabasi_albert(n, 2, seed);
+        let config = ChurnConfig { snapshots: 4, ..ChurnConfig::default() };
+        let eg = evolve(base, config, seed.wrapping_add(7));
+
+        let maintain = |kernel: Kernel| with_kernel(kernel, || {
+            let mut mc = MaintainedCore::new(eg.initial().clone());
+            let mut per_snapshot: Vec<Vec<u32>> = Vec::new();
+            for batch in eg.batches() {
+                mc.apply_batch(batch).expect("batch applies");
+                per_snapshot.push((0..eg.num_vertices() as u32).map(|v| mc.core(v)).collect());
+            }
+            if kernel == Kernel::Branchless {
+                assert_korder_valid(mc.graph(), mc.korder());
+            }
+            per_snapshot
+        });
+        prop_assert_eq!(maintain(Kernel::Scalar), maintain(Kernel::Branchless));
+    }
+}
