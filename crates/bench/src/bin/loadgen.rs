@@ -32,6 +32,17 @@
 //! queries, Greedy-vs-OLAK best-anchor solves) and the degree threshold
 //! `k` is calibrated from the server's own `SPECTRUM` reply.
 //!
+//! **Write-heavy mixes.** `--ingest-mix F` turns fraction `F` of the
+//! request stream into `INGEST` writes: small timestamped edge-event
+//! batches drawn from the same deterministic RNG, stamped from one
+//! process-wide logical clock shared by every client thread and
+//! connection. `--ooo-frac G` makes fraction `G` of those writes
+//! *stragglers* — stamped a few ticks behind the clock, so they exercise
+//! the server's fold/reject admission paths. Admission verdicts
+//! (accepted, folded, rejected) are all successful replies; the final
+//! `STATS` probe prints the server's writer counters, including
+//! epoch-publish latency percentiles.
+//!
 //! `--quick` is the CI smoke setting (2 clients × 40 requests);
 //! `--shutdown` sends the shutdown verb after the run so a scripted
 //! `avt-serve … & loadgen --quick --shutdown; wait` tears the server down
@@ -44,6 +55,7 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use avt_serve::codec::{Codec, TextCodec};
@@ -66,6 +78,10 @@ options:
                     (enables open-loop mode; Linux only)
   --connections N   open loop: multiplexed connections       (default 256)
   --seed N          request-mix seed             (default 42)
+  --ingest-mix F    fraction of requests that are INGEST writes, 0..=1
+                    (default 0: read-only mix)
+  --ooo-frac G      fraction of INGEST writes stamped behind the logical
+                    clock (out-of-order stragglers), 0..=1  (default 0)
   --quick           CI smoke: 2 clients x 40 requests (explicit flags
                     override it, in any order)
   --shutdown        send the shutdown verb to the server after the run
@@ -84,7 +100,23 @@ struct Args {
     offered_qps: Option<f64>,
     connections: usize,
     quick: bool,
+    mix: IngestMix,
 }
+
+/// The write-mix knobs, threaded to every request picker.
+#[derive(Debug, Clone, Copy)]
+struct IngestMix {
+    /// Fraction of requests that are `INGEST` writes (0 = read-only).
+    frac: f64,
+    /// Fraction of those writes stamped behind the logical clock.
+    ooo: f64,
+}
+
+/// The process-wide logical clock stamping `INGEST` events: every client
+/// thread and open-loop connection draws from the same sequence, so the
+/// server sees one coherent (if racy) timestamp stream — exactly the
+/// out-of-order arrival pattern the admission window exists for.
+static INGEST_CLOCK: AtomicU64 = AtomicU64::new(0);
 
 fn parse_args() -> Result<Args, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
         offered_qps: None,
         connections: 256,
         quick,
+        mix: IngestMix { frac: 0.0, ooo: 0.0 },
     };
     let mut it = raw.iter().filter(|a| *a != "--quick" && *a != "--shutdown");
     while let Some(flag) = it.next() {
@@ -127,6 +160,10 @@ fn parse_args() -> Result<Args, String> {
                 args.connections = value.parse().map_err(|e| format!("--connections: {e}"))?
             }
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ingest-mix" => {
+                args.mix.frac = value.parse().map_err(|e| format!("--ingest-mix: {e}"))?
+            }
+            "--ooo-frac" => args.mix.ooo = value.parse().map_err(|e| format!("--ooo-frac: {e}"))?,
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
@@ -137,6 +174,11 @@ fn parse_args() -> Result<Args, String> {
     if let Some(q) = args.offered_qps {
         if q <= 0.0 || !q.is_finite() {
             return Err("--offered-qps must be positive".into());
+        }
+    }
+    for (flag, v) in [("--ingest-mix", args.mix.frac), ("--ooo-frac", args.mix.ooo)] {
+        if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+            return Err(format!("{flag} must be in 0..=1"));
         }
     }
     Ok(args)
@@ -245,8 +287,42 @@ struct ClientOutcome {
     latencies_us: Vec<u64>,
 }
 
-/// The deterministic request mix, by weight out of 100.
-fn pick_request(rng: &mut SmallRng, n: usize, k: u32) -> Request {
+/// One `INGEST` write: a couple of edge events on random endpoints,
+/// stamped from the shared logical clock — or, with probability
+/// `mix.ooo`, a few ticks behind it (a straggler for the fold/reject
+/// paths). Conflicting events (duplicate insert, delete of an absent
+/// edge) are fine: the server's sanitizer nets them out, they are not
+/// errors.
+fn pick_ingest(rng: &mut SmallRng, n: usize, mix: IngestMix) -> Request {
+    if n < 2 {
+        return Request::Info; // a one-vertex graph has no edges to churn
+    }
+    let ts = if rng.gen_range(0.0..1.0) < mix.ooo {
+        // Behind the clock but usually inside the server's lag window.
+        INGEST_CLOCK.load(Ordering::Relaxed).saturating_sub(rng.gen_range(1..4u64)).max(1)
+    } else {
+        INGEST_CLOCK.fetch_add(1, Ordering::Relaxed) + 1
+    };
+    fn edge(rng: &mut SmallRng, n: usize) -> (u32, u32) {
+        let u = rng.gen_range(0..n) as u32;
+        let v = (u + 1 + rng.gen_range(0..(n as u32 - 1))) % n as u32;
+        (u, v)
+    }
+    // Mostly inserts with an occasional delete, so the graph churns
+    // rather than saturating.
+    if rng.gen_range(0..4u32) == 0 {
+        Request::Ingest { ts, insertions: vec![], deletions: vec![edge(rng, n)] }
+    } else {
+        Request::Ingest { ts, insertions: vec![edge(rng, n), edge(rng, n)], deletions: vec![] }
+    }
+}
+
+/// The deterministic request mix, by weight out of 100 (after the
+/// `--ingest-mix` coin decides read vs write).
+fn pick_request(rng: &mut SmallRng, n: usize, k: u32, mix: IngestMix) -> Request {
+    if mix.frac > 0.0 && rng.gen_range(0.0..1.0) < mix.frac {
+        return pick_ingest(rng, n, mix);
+    }
     let roll = rng.gen_range(0..100u32);
     let vertex = rng.gen_range(0..n) as u32;
     match roll {
@@ -262,6 +338,7 @@ fn pick_request(rng: &mut SmallRng, n: usize, k: u32) -> Request {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_client(
     addr: &str,
     codec: &'static (dyn Codec + 'static),
@@ -269,13 +346,14 @@ fn run_client(
     n: usize,
     k: u32,
     seed: u64,
+    mix: IngestMix,
 ) -> Result<ClientOutcome, String> {
     let mut client = Client::connect(addr, Duration::from_secs(10), codec)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut outcome =
         ClientOutcome { ok: 0, errors: 0, latencies_us: Vec::with_capacity(requests) };
     for _ in 0..requests {
-        let request = pick_request(&mut rng, n, k);
+        let request = pick_request(&mut rng, n, k, mix);
         let start = Instant::now();
         match client.call(&request) {
             Ok(_) => {
@@ -304,7 +382,7 @@ fn run_client(
 /// reuses the server's `epoll` wrapper.
 #[cfg(target_os = "linux")]
 mod open_loop {
-    use super::{pick_request, Codec, Duration, Instant, Read, TcpStream, Write};
+    use super::{pick_request, Codec, Duration, IngestMix, Instant, Read, TcpStream, Write};
     use avt_serve::Poller;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -319,6 +397,7 @@ mod open_loop {
         pub seed: u64,
         pub n: usize,
         pub k: u32,
+        pub mix: IngestMix,
     }
 
     pub struct Outcome {
@@ -390,7 +469,7 @@ mod open_loop {
             while next_send < cfg.total && sched(next_send) <= now {
                 let idx = next_send as u64;
                 next_send += 1;
-                let request = pick_request(&mut rng, cfg.n, cfg.k);
+                let request = pick_request(&mut rng, cfg.n, cfg.k, cfg.mix);
                 let conn = &mut conns[idx as usize % cfg.connections];
                 cfg.codec.encode_request(idx, &request, &mut conn.wbuf);
                 conn.sent.push_back(idx);
@@ -567,6 +646,7 @@ fn main() -> ExitCode {
                 seed: args.seed,
                 n,
                 k,
+                mix: args.mix,
             };
             match open_loop::run(&cfg) {
                 Ok(outcome) => {
@@ -593,7 +673,8 @@ fn main() -> ExitCode {
                     let addr = &args.addr;
                     let codec = args.codec;
                     let seed = args.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                    scope.spawn(move || run_client(addr, codec, requests, n, k, seed))
+                    let mix = args.mix;
+                    scope.spawn(move || run_client(addr, codec, requests, n, k, seed, mix))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
@@ -640,7 +721,15 @@ fn main() -> ExitCode {
 
     // Server-side view after the run (and optional teardown).
     match probe.call(&Request::Stats) {
-        Ok(Response::Stats { epochs, served, errors: server_errors, p50_us, p99_us, per_op }) => {
+        Ok(Response::Stats {
+            epochs,
+            served,
+            errors: server_errors,
+            p50_us,
+            p99_us,
+            per_op,
+            writer,
+        }) => {
             let opt = |v: Option<u64>| v.map_or("-".into(), |v: u64| v.to_string());
             let ops = per_op
                 .iter()
@@ -656,6 +745,31 @@ fn main() -> ExitCode {
                 opt(p99_us),
                 if ops.is_empty() { "-".into() } else { ops },
             );
+            // The writer block only exists on admission-backed servers;
+            // publish percentiles are the epoch-publish latency the
+            // write-heavy lanes are after.
+            if let Some(w) = writer {
+                let shards = w
+                    .shards
+                    .iter()
+                    .map(|s| format!("{}:{}:{}:{}", s.shard, s.count, opt(s.p50_us), opt(s.p99_us)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                println!(
+                    "loadgen: server writer: batches={} accepted={} folded={} rejected={} \
+                     dropped={} watermark={} lag={} publish_p50us={} publish_p99us={} shards={}",
+                    w.batches_applied,
+                    w.events_accepted,
+                    w.events_folded,
+                    w.events_rejected,
+                    w.events_dropped,
+                    w.watermark,
+                    w.watermark_lag,
+                    opt(w.publish_p50_us),
+                    opt(w.publish_p99_us),
+                    if shards.is_empty() { "-".into() } else { shards },
+                );
+            }
         }
         other => eprintln!("loadgen: STATS after run failed: {other:?}"),
     }

@@ -33,6 +33,9 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// The writer is unavailable: a live replay borrow requires a
+    /// quiesced writer (used by the serve layer's timeline guard).
+    WriterBusy,
 }
 
 impl fmt::Display for GraphError {
@@ -53,6 +56,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::WriterBusy => {
+                write!(f, "writer busy: a replay borrow is live; retry after the replay finishes")
             }
         }
     }

@@ -51,6 +51,7 @@ pub mod kernels;
 pub mod korder;
 pub mod maintain;
 pub mod mcd;
+pub mod shards;
 pub mod shell;
 pub mod spectrum;
 pub mod verify;
@@ -58,7 +59,8 @@ pub mod verify;
 pub use decompose::{CoreDecomposition, ANCHOR_CORE};
 pub use kernels::Kernel;
 pub use korder::KOrder;
-pub use maintain::{ChangeSet, MaintainedCore};
+pub use maintain::{BatchStats, ChangeSet, MaintainedCore};
 pub use mcd::{max_core_degree, max_core_degrees};
+pub use shards::{set_write_shards, write_shards};
 pub use shell::{k_core_members, k_core_size, shell_members};
 pub use spectrum::CoreSpectrum;

@@ -36,10 +36,14 @@
 //! invariant documented in [`crate`]; `verify::assert_korder_valid` is
 //! exercised after every operation in the test suite.
 
+use std::collections::BTreeSet;
+use std::time::Instant;
+
 use avt_graph::{EdgeBatch, Graph, GraphError, VertexId};
 
 use crate::kernels;
 use crate::korder::KOrder;
+use crate::shards;
 
 /// Vertices whose core number changed while applying updates.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -76,6 +80,17 @@ impl ChangeSet {
         self.demoted.sort_unstable();
         self.demoted.dedup();
     }
+}
+
+/// Writer-side observability for one batch apply, surfaced through the
+/// serve layer's `STATS` verb.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Wall-clock micros each shard spent in its parallel screen pass
+    /// (empty when the per-edge reference path ran, i.e. shard count 1).
+    pub shard_us: Vec<u64>,
+    /// Levels re-peeled by the sequential bottom-up repair pass.
+    pub levels_repaired: u32,
 }
 
 /// Epoch-stamped scratch space so maintenance never allocates per edge.
@@ -290,16 +305,177 @@ impl MaintainedCore {
     /// Apply a full batch (insertions first, then deletions, matching
     /// `G ⊕ E+ ⊖ E-`), accumulating the change set. This is the paper's
     /// `EdgeInsert` + `EdgeRemove` pair from Algorithm 6, lines 7-8.
+    ///
+    /// The write path is governed by the [`shards`] axis: with
+    /// `AVT_WRITE_SHARDS=1` (the default) every edge goes through the
+    /// per-edge reference algorithms verbatim; with more shards the
+    /// insertion phase runs sharded (see [`Self::apply_batch_timed`]).
+    /// The resulting core numbers are bit-identical either way — cores
+    /// are a function of the graph alone.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> Result<ChangeSet, GraphError> {
-        let mut changes = ChangeSet::default();
-        for e in &batch.insertions {
-            changes.absorb(self.insert_edge(e.u, e.v)?);
+        self.apply_batch_timed(batch).map(|(changes, _)| changes)
+    }
+
+    /// [`Self::apply_batch`] plus per-shard timing, for the serve layer's
+    /// writer stats rings. The shard count comes from the process-wide
+    /// [`shards::write_shards`] axis.
+    pub fn apply_batch_timed(
+        &mut self,
+        batch: &EdgeBatch,
+    ) -> Result<(ChangeSet, BatchStats), GraphError> {
+        self.apply_batch_with_shards(batch, shards::write_shards())
+    }
+
+    /// [`Self::apply_batch_timed`] with an explicit shard count,
+    /// bypassing the process-wide axis — the equivalence tests compare
+    /// shard counts side by side without racing on the global knob.
+    pub fn apply_batch_with_shards(
+        &mut self,
+        batch: &EdgeBatch,
+        shards: u32,
+    ) -> Result<(ChangeSet, BatchStats), GraphError> {
+        if shards <= 1 {
+            let mut changes = ChangeSet::default();
+            for e in &batch.insertions {
+                changes.absorb(self.insert_edge(e.u, e.v)?);
+            }
+            for e in &batch.deletions {
+                changes.absorb(self.remove_edge(e.u, e.v)?);
+            }
+            changes.dedup();
+            Ok((changes, BatchStats::default()))
+        } else {
+            self.apply_batch_sharded(batch, shards)
         }
+    }
+
+    /// Sharded batch apply: parallel adjacency insertion, parallel dirty
+    /// screen, then one sequential bottom-up re-peel of the broken levels.
+    ///
+    /// # Why this yields the same cores as the per-edge path
+    ///
+    /// After all insertions, the only vertices whose remaining degree
+    /// `deg+` changed are the ⪯-smaller endpoints `w` of the new edges
+    /// (the larger endpoint gains a neighbour that is *before* it in the
+    /// order, which `deg+` does not count). The pre-batch removal order is
+    /// therefore still a legal peel of the updated graph — which pins
+    /// every core number to its old value — **iff** `deg+(w) ≤ core(w)`
+    /// for every such `w` (the batch generalization of Lemma 2). Levels
+    /// that fail the check are *dirty*; everything below the smallest
+    /// dirty level replays verbatim, so the repair re-peels dirty levels
+    /// bottom-up, carrying each peel's survivors (the vertices whose core
+    /// rises) into the next level exactly like [`Self::insert_edge`]'s
+    /// splice step — except the carry keeps ascending while survivors
+    /// remain, which is how a batch promotes a vertex by more than one
+    /// level. Deletions then run per-edge: the demotion cascade is
+    /// inherently sequential and deletions are the minority of churn.
+    fn apply_batch_sharded(
+        &mut self,
+        batch: &EdgeBatch,
+        shards: u32,
+    ) -> Result<(ChangeSet, BatchStats), GraphError> {
+        let n = self.graph.num_vertices();
+        let bounds = shards::shard_bounds(n, shards);
+        let mut changes = ChangeSet::default();
+        let mut stats = BatchStats::default();
+
+        if !batch.insertions.is_empty() {
+            // Phase 1: every adjacency push in parallel. Validation is
+            // sequential and up-front, so the parallel part is infallible
+            // and the graph it produces is bit-identical to the per-edge
+            // insertion loop.
+            self.graph.insert_edges_sharded(&batch.insertions, &bounds)?;
+
+            // Phase 2: parallel screen — each shard checks the smaller
+            // endpoints it owns against the updated graph and reports the
+            // levels whose replay broke.
+            let mut dirty: BTreeSet<u32> = BTreeSet::new();
+            let mut shard_us = vec![0u64; bounds.len()];
+            {
+                let graph = &self.graph;
+                let korder = &self.korder;
+                let edges = &batch.insertions;
+                let bounds = &bounds;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..bounds.len())
+                        .map(|si| {
+                            s.spawn(move || {
+                                let start = Instant::now();
+                                let mut local: Vec<u32> = Vec::new();
+                                for e in edges {
+                                    let (cu, cv) = (korder.core(e.u), korder.core(e.v));
+                                    let w = if cu != cv {
+                                        if cu < cv {
+                                            e.u
+                                        } else {
+                                            e.v
+                                        }
+                                    } else if korder.precedes(e.u, e.v) {
+                                        e.u
+                                    } else {
+                                        e.v
+                                    };
+                                    if shards::shard_of(w as usize, bounds) != si {
+                                        continue;
+                                    }
+                                    let k = cu.min(cv);
+                                    if korder.deg_plus(graph, w) > k {
+                                        local.push(k);
+                                    }
+                                }
+                                (start.elapsed().as_micros() as u64, local)
+                            })
+                        })
+                        .collect();
+                    for (si, h) in handles.into_iter().enumerate() {
+                        let (us, local) = h.join().expect("screen shard panicked");
+                        shard_us[si] = us;
+                        dirty.extend(local);
+                    }
+                });
+            }
+            stats.shard_us = shard_us;
+
+            // Phase 3: sequential bottom-up repair. `carry` holds detached
+            // survivors being spliced upward; a level is peeled when it is
+            // dirty or when a carry reaches it.
+            let mut carry: Vec<VertexId> = Vec::new();
+            let mut k = 0u32;
+            loop {
+                if carry.is_empty() {
+                    match dirty.iter().next().copied() {
+                        Some(next) => k = next,
+                        None => break,
+                    }
+                }
+                dirty.remove(&k);
+                let attached: Vec<VertexId> = self.korder.iter_level(k).collect();
+                // Carry first: survivors precede the old members in the
+                // member seed order, matching insert_edge's splice.
+                let mut members = std::mem::take(&mut carry);
+                members.extend_from_slice(&attached);
+                let (order, survivors) = self.peel_level(k, &members);
+                debug_assert_eq!(
+                    order.len() + survivors.len(),
+                    members.len(),
+                    "peel at level {k} lost vertices"
+                );
+                for &x in &attached {
+                    self.korder.detach(x);
+                }
+                self.korder.install_level(k, &order);
+                changes.promoted.extend_from_slice(&survivors);
+                stats.levels_repaired += 1;
+                carry = survivors;
+                k += 1;
+            }
+        }
+
         for e in &batch.deletions {
             changes.absorb(self.remove_edge(e.u, e.v)?);
         }
         changes.dedup();
-        Ok(changes)
+        Ok((changes, stats))
     }
 
     /// Queue-peel the given members at `lvl`: repeatedly remove any member
@@ -317,7 +493,9 @@ impl MaintainedCore {
         // first so detached members never reach `core()`), outsiders count
         // when they live strictly above this level. The kernel reads the
         // raw level array, where detachment's `u32::MAX` sentinel would
-        // compare as "above" — but no vertex is detached during a re-peel.
+        // compare as "above" — safe, because the only vertices ever
+        // detached during a re-peel are the sharded path's carry
+        // survivors, and those are members, counted by the member branch.
         let level = self.korder.levels_raw();
         for (i, &m) in members.iter().enumerate() {
             if ops.prefetch_ahead && i + 1 < members.len() {
@@ -645,6 +823,95 @@ mod tests {
             mc.remove_edge(u, v).unwrap();
             assert_synced(&mc);
         }
+    }
+
+    #[test]
+    fn sharded_batch_matches_per_edge_and_oracle() {
+        // Random churn applied batch-wise: every shard count must produce
+        // the same graph (bit for bit), the same cores as the per-edge
+        // reference AND the from-scratch peel, the same change sets, and a
+        // valid K-order of its own.
+        use rand::{Rng, SeedableRng};
+        for seed in [7u64, 99, 2024] {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = 48usize;
+            let mut per_edge = MaintainedCore::new(Graph::new(n));
+            let mut sharded: Vec<MaintainedCore> = vec![MaintainedCore::new(Graph::new(n)); 3];
+            let counts = [2u32, 4, 7];
+            let mut present: Vec<(VertexId, VertexId)> = Vec::new();
+            for _ in 0..25 {
+                let mut ins = Vec::new();
+                let mut del = Vec::new();
+                for _ in 0..rng.gen_range(0..14usize) {
+                    let u = rng.gen_range(0..n) as VertexId;
+                    let v = rng.gen_range(0..n) as VertexId;
+                    let e = (u.min(v), u.max(v));
+                    if u != v && !per_edge.graph().has_edge(u, v) && !ins.contains(&e) {
+                        ins.push(e);
+                        present.push(e);
+                    }
+                }
+                for _ in 0..rng.gen_range(0..4usize) {
+                    if present.len() <= ins.len() {
+                        break;
+                    }
+                    let i = rng.gen_range(0..present.len());
+                    let e = present[i];
+                    if !ins.contains(&e) && !del.contains(&e) {
+                        present.swap_remove(i);
+                        del.push(e);
+                    }
+                }
+                let batch = EdgeBatch::from_pairs(ins, del);
+                let reference = per_edge.apply_batch(&batch).unwrap();
+                for (mc, &shards) in sharded.iter_mut().zip(&counts) {
+                    let (ch, stats) = mc.apply_batch_with_shards(&batch, shards).unwrap();
+                    assert_eq!(ch, reference, "changes diverged at {shards} shards");
+                    if !batch.insertions.is_empty() {
+                        assert_eq!(stats.shard_us.len(), shards as usize);
+                    }
+                    assert!(mc.graph().is_isomorphic_identity(per_edge.graph()));
+                    for v in 0..n as VertexId {
+                        assert_eq!(mc.core(v), per_edge.core(v), "core({v}) at {shards} shards");
+                    }
+                    assert_synced(mc);
+                }
+                let oracle = CoreDecomposition::compute(per_edge.graph());
+                for v in 0..n as VertexId {
+                    assert_eq!(per_edge.core(v), oracle.core(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_promotes_across_multiple_levels() {
+        // One batch that lifts a vertex by more than one level: vertex 5
+        // starts isolated (core 0) and the batch wires it into a K5's
+        // worth of edges, so the carry must ascend through several peels.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        )
+        .unwrap();
+        let mut mc = MaintainedCore::new(g);
+        assert_eq!(mc.core(5), 0);
+        let batch = EdgeBatch::from_pairs([(5, 0), (5, 1), (5, 2), (5, 3), (5, 4)], []);
+        let (ch, _) = mc.apply_batch_with_shards(&batch, 3).unwrap();
+        assert!(mc.graph().vertices().all(|v| mc.core(v) == 5));
+        assert_eq!(ch.promoted.len(), 6);
+        assert_synced(&mc);
+    }
+
+    #[test]
+    fn sharded_batch_rejects_bad_edges() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let mut mc = MaintainedCore::new(g);
+        let dup = EdgeBatch::from_pairs([(0, 1)], []);
+        assert!(mc.apply_batch_with_shards(&dup, 2).is_err());
+        let missing = EdgeBatch::from_pairs([], [(1, 2)]);
+        assert!(mc.apply_batch_with_shards(&missing, 2).is_err());
+        assert_synced(&mc);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //!
 //! # Opcodes
 //!
-//! Request opcodes `0x01..=0x07` are `OpClass::index() + 1`; connection
+//! Request opcodes `0x01..=0x08` are `OpClass::index() + 1`; connection
 //! verbs sit at `0x10`/`0x11`. A success response echoes the request
 //! opcode with the high bit set (`op | 0x80`); an error response is
 //! `0xFF` regardless of what was asked.
@@ -41,6 +41,7 @@
 //! | `0x05` | `FOLLOWERS` | u32 `k`, u32 `anchor` |
 //! | `0x06` | `BEST` | u32 `k`, u32 `b`, u8 algo (0 greedy, 1 olak) |
 //! | `0x07` | `STATS` | — |
+//! | `0x08` | `INGEST` | u64 `ts`, u32 `icount`, `icount` × (u32 `u`, u32 `v`), u32 `dcount`, `dcount` × (u32 `u`, u32 `v`) |
 //! | `0x10` | `QUIT` | — |
 //! | `0x11` | `SHUTDOWN` | — |
 //! | `0x81` | info reply | u64 `t`, u64 `n`, u64 `m`, u64 `epochs` |
@@ -49,9 +50,17 @@
 //! | `0x84` | anchored reply | u64 `t`, u32 `k`, u64 `size`, u32 `len`, `len` × u32 followers |
 //! | `0x85` | followers reply | u64 `t`, u32 `k`, u32 `anchor`, u32 `len`, `len` × u32 followers |
 //! | `0x86` | best reply | u64 `t`, u32 `k`, u8 algo, u64 `visited`, u64 `probed`, u32 `alen`, u32 `flen`, anchors, followers |
-//! | `0x87` | stats reply | u64 `epochs`, u64 `served`, u64 `errors`, u64 `p50`, u64 `p99`, u8 `ops`, `ops` × (u8 op, u64 count, u64 p50, u64 p99) |
+//! | `0x87` | stats reply | u64 `epochs`, u64 `served`, u64 `errors`, u64 `p50`, u64 `p99`, u8 `ops`, `ops` × (u8 op, u64 count, u64 p50, u64 p99), [writer block] |
+//! | `0x88` | ingest reply | u64 `t`, u64 `accepted`, u64 `folded`, u64 `rejected`, u64 `watermark` |
 //! | `0x91` | bye (shutdown ack) | — |
 //! | `0xFF` | error reply | UTF-8 message |
+//!
+//! The stats **writer block** is optional: it is simply absent (zero
+//! further bytes) on read-only services, and otherwise a `1` byte
+//! followed by u64 `batches`, u64 `accepted`, u64 `folded`, u64
+//! `rejected`, u64 `dropped`, u64 `watermark`, u64 `lag`, u64 `p50`,
+//! u64 `p99`, u8 `nshards`, `nshards` × (u32 shard, u64 count, u64 p50,
+//! u64 p99). Frames from pre-writer peers therefore still decode.
 //!
 //! Optional microsecond percentiles travel as u64 with `u64::MAX`
 //! meaning "absent". A malformed *payload* (bad opcode, wrong length,
@@ -61,7 +70,10 @@
 //! not speaking this protocol and the connection closes.
 
 use crate::codec::{Codec, WireRequest, WireVerb};
-use crate::protocol::{BestAlgo, OpClass, OpLatency, Request, Response, MAX_ANCHORS};
+use crate::protocol::{
+    BestAlgo, OpClass, OpLatency, Request, Response, ShardLatency, WriterStats, MAX_ANCHORS,
+    MAX_INGEST_EVENTS,
+};
 use avt_graph::VertexId;
 
 /// The four magic bytes opening every frame.
@@ -163,6 +175,10 @@ impl<'a> Cursor<'a> {
         Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
     }
 
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
     fn finish(self) -> Result<(), String> {
         if self.at == self.bytes.len() {
             Ok(())
@@ -215,6 +231,16 @@ fn request_payload(request: &Request) -> Vec<u8> {
                 BestAlgo::Greedy => 0,
                 BestAlgo::Olak => 1,
             });
+        }
+        Request::Ingest { ts, insertions, deletions } => {
+            put_u64(&mut p, *ts);
+            for pairs in [insertions, deletions] {
+                put_u32(&mut p, pairs.len() as u32);
+                for &(u, v) in pairs {
+                    put_u32(&mut p, u);
+                    put_u32(&mut p, v);
+                }
+            }
         }
     }
     p
@@ -283,7 +309,7 @@ fn response_payload(response: &Response) -> (u8, Vec<u8>) {
             }
             op_of(OpClass::Best) | OP_OK_BIT
         }
-        Response::Stats { epochs, served, errors, p50_us, p99_us, per_op } => {
+        Response::Stats { epochs, served, errors, p50_us, p99_us, per_op, writer } => {
             put_u64(&mut p, *epochs);
             put_u64(&mut p, *served);
             put_u64(&mut p, *errors);
@@ -296,7 +322,36 @@ fn response_payload(response: &Response) -> (u8, Vec<u8>) {
                 put_opt_us(&mut p, o.p50_us);
                 put_opt_us(&mut p, o.p99_us);
             }
+            // Writer block: absent entirely on read-only services, so the
+            // payload stays byte-identical to the pre-writer layout.
+            if let Some(w) = writer {
+                p.push(1);
+                put_u64(&mut p, w.batches_applied);
+                put_u64(&mut p, w.events_accepted);
+                put_u64(&mut p, w.events_folded);
+                put_u64(&mut p, w.events_rejected);
+                put_u64(&mut p, w.events_dropped);
+                put_u64(&mut p, w.watermark);
+                put_u64(&mut p, w.watermark_lag);
+                put_opt_us(&mut p, w.publish_p50_us);
+                put_opt_us(&mut p, w.publish_p99_us);
+                p.push(w.shards.len() as u8);
+                for s in &w.shards {
+                    put_u32(&mut p, s.shard);
+                    put_u64(&mut p, s.count);
+                    put_opt_us(&mut p, s.p50_us);
+                    put_opt_us(&mut p, s.p99_us);
+                }
+            }
             op_of(OpClass::Stats) | OP_OK_BIT
+        }
+        Response::Ingest { t, accepted, folded, rejected, watermark } => {
+            put_u64(&mut p, *t);
+            put_u64(&mut p, *accepted);
+            put_u64(&mut p, *folded);
+            put_u64(&mut p, *rejected);
+            put_u64(&mut p, *watermark);
+            op_of(OpClass::Ingest) | OP_OK_BIT
         }
         Response::Bye => OP_BYE,
     };
@@ -341,6 +396,26 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, String>
             Request::Best { k, b, algo }
         }
         OpClass::Stats => Request::Stats,
+        OpClass::Ingest => {
+            let ts = c.u64()?;
+            let mut lists = [Vec::new(), Vec::new()];
+            for list in &mut lists {
+                let len = c.u32()? as usize;
+                if len > MAX_INGEST_EVENTS {
+                    return Err(format!("at most {MAX_INGEST_EVENTS} events per request"));
+                }
+                *list = c
+                    .u32_list(len.checked_mul(2).ok_or("event count overflow")?)?
+                    .chunks_exact(2)
+                    .map(|p| (p[0], p[1]))
+                    .collect();
+            }
+            let [insertions, deletions] = lists;
+            if insertions.len() + deletions.len() > MAX_INGEST_EVENTS {
+                return Err(format!("at most {MAX_INGEST_EVENTS} events per request"));
+            }
+            Request::Ingest { ts, insertions, deletions }
+        }
     };
     c.finish()?;
     Ok(request)
@@ -423,8 +498,44 @@ fn decode_response_payload(opcode: u8, payload: &[u8]) -> Result<Response, Strin
                     p99_us: c.opt_us()?,
                 });
             }
-            Response::Stats { epochs, served, errors, p50_us, p99_us, per_op }
+            // Absent block (pre-writer peers) decodes as `None`.
+            let writer = if c.remaining() == 0 {
+                None
+            } else {
+                if c.u8()? != 1 {
+                    return Err("bad writer-block flag in stats reply".into());
+                }
+                let mut w = WriterStats {
+                    batches_applied: c.u64()?,
+                    events_accepted: c.u64()?,
+                    events_folded: c.u64()?,
+                    events_rejected: c.u64()?,
+                    events_dropped: c.u64()?,
+                    watermark: c.u64()?,
+                    watermark_lag: c.u64()?,
+                    publish_p50_us: c.opt_us()?,
+                    publish_p99_us: c.opt_us()?,
+                    shards: Vec::new(),
+                };
+                for _ in 0..c.u8()? {
+                    w.shards.push(ShardLatency {
+                        shard: c.u32()?,
+                        count: c.u64()?,
+                        p50_us: c.opt_us()?,
+                        p99_us: c.opt_us()?,
+                    });
+                }
+                Some(w)
+            };
+            Response::Stats { epochs, served, errors, p50_us, p99_us, per_op, writer }
         }
+        OpClass::Ingest => Response::Ingest {
+            t: c.u64()?,
+            accepted: c.u64()?,
+            folded: c.u64()?,
+            rejected: c.u64()?,
+            watermark: c.u64()?,
+        },
     };
     c.finish()?;
     Ok(response)
@@ -534,6 +645,8 @@ mod tests {
             Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy },
             Request::Best { k: 4, b: 1, algo: BestAlgo::Olak },
             Request::Stats,
+            Request::Ingest { ts: 42, insertions: vec![(0, 1), (2, 3)], deletions: vec![(4, 5)] },
+            Request::Ingest { ts: 0, insertions: vec![], deletions: vec![] },
         ]
     }
 
@@ -565,7 +678,32 @@ mod tests {
                     p50_us: Some(800),
                     p99_us: None,
                 }],
+                writer: None,
             },
+            Response::Stats {
+                epochs: 12,
+                served: 3,
+                errors: 0,
+                p50_us: None,
+                p99_us: None,
+                per_op: vec![],
+                writer: Some(WriterStats {
+                    batches_applied: 11,
+                    events_accepted: 40,
+                    events_folded: 3,
+                    events_rejected: 2,
+                    events_dropped: 1,
+                    watermark: 14,
+                    watermark_lag: 2,
+                    publish_p50_us: Some(120),
+                    publish_p99_us: None,
+                    shards: vec![
+                        ShardLatency { shard: 0, count: 11, p50_us: Some(30), p99_us: Some(55) },
+                        ShardLatency { shard: 1, count: 11, p50_us: None, p99_us: None },
+                    ],
+                }),
+            },
+            Response::Ingest { t: 5, accepted: 3, folded: 1, rejected: 0, watermark: 9 },
             Response::Bye,
         ]
     }
@@ -676,6 +814,38 @@ mod tests {
             codec.decode_request(&wire).verb,
             WireVerb::Malformed(m) if m.contains("at most")
         ));
+        // Ingest event cap enforced before allocating, too.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_u32(&mut payload, u32::MAX);
+        let mut wire = Vec::new();
+        codec.frame(op_of(OpClass::Ingest), 5, &payload, &mut wire);
+        assert!(matches!(
+            codec.decode_request(&wire).verb,
+            WireVerb::Malformed(m) if m.contains("at most")
+        ));
+    }
+
+    #[test]
+    fn stats_without_a_writer_block_decodes_as_none() {
+        // The pre-writer stats payload (nothing after the ops list) must
+        // still decode — the block is optional on the wire.
+        let codec = BinaryCodec;
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 4); // epochs
+        put_u64(&mut payload, 9); // served
+        put_u64(&mut payload, 0); // errors
+        put_opt_us(&mut payload, None);
+        put_opt_us(&mut payload, None);
+        payload.push(0); // no per-op entries — and no writer block at all
+        let mut wire = Vec::new();
+        codec.frame(op_of(OpClass::Stats) | OP_OK_BIT, 8, &payload, &mut wire);
+        match codec.decode_response(&wire) {
+            Ok((Some(8), Ok(Response::Stats { served, writer, .. }))) => {
+                assert_eq!((served, writer), (9, None));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

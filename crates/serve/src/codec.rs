@@ -32,7 +32,10 @@
 //! writes responses in request order. That one flag is the entire
 //! difference the front-end sees between the two formats.
 
-use crate::protocol::{BestAlgo, OpClass, OpLatency, Request, Response, MAX_ANCHORS};
+use crate::protocol::{
+    BestAlgo, OpClass, OpLatency, Request, Response, ShardLatency, WriterStats, MAX_ANCHORS,
+    MAX_INGEST_EVENTS,
+};
 use avt_graph::VertexId;
 
 /// Longest accepted text line (including the newline). A line this long
@@ -235,6 +238,21 @@ fn parse_opt_us(field: &str, value: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Render edge pairs as one flattened comma list (`u1,v1,u2,v2`, `-` when
+/// empty) — the same list syntax every other text field uses.
+fn join_pairs(pairs: &[(VertexId, VertexId)]) -> String {
+    let flat: Vec<VertexId> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
+    join_list(&flat)
+}
+
+fn parse_pairs(field: &str, value: &str) -> Result<Vec<(VertexId, VertexId)>, String> {
+    let flat: Vec<VertexId> = parse_list(field, value)?;
+    if !flat.len().is_multiple_of(2) {
+        return Err(format!("{field} list must pair up (got {} elements)", flat.len()));
+    }
+    Ok(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+}
+
 /// The text wire line for `request` (no trailing newline).
 pub(crate) fn text_request_line(request: &Request) -> String {
     match request {
@@ -245,6 +263,9 @@ pub(crate) fn text_request_line(request: &Request) -> String {
         Request::Followers { k, anchor } => format!("FOLLOWERS {k} {anchor}"),
         Request::Best { k, b, algo } => format!("BEST {k} {b} {}", algo.wire_name()),
         Request::Stats => "STATS".into(),
+        Request::Ingest { ts, insertions, deletions } => {
+            format!("INGEST {ts} {} {}", join_pairs(insertions), join_pairs(deletions))
+        }
     }
 }
 
@@ -309,6 +330,16 @@ pub(crate) fn parse_text_request_line(line: &str) -> Result<Request, String> {
             want(0)?;
             Request::Stats
         }
+        "INGEST" => {
+            want(3)?;
+            let ts = parse_num("ts", args[0])?;
+            let insertions = parse_pairs("insertions", args[1])?;
+            let deletions = parse_pairs("deletions", args[2])?;
+            if insertions.len() + deletions.len() > MAX_INGEST_EVENTS {
+                return Err(format!("at most {MAX_INGEST_EVENTS} events per request"));
+            }
+            Request::Ingest { ts, insertions, deletions }
+        }
         other => return Err(format!("unknown request {other:?}")),
     };
     Ok(req)
@@ -324,6 +355,70 @@ fn join_ops(per_op: &[OpLatency]) -> String {
         })
         .collect::<Vec<_>>()
         .join(",")
+}
+
+/// Render the `writer=` field value: the counters colon-joined in
+/// declaration order (percentiles `-` when absent).
+fn join_writer(w: &WriterStats) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}:{}:{}",
+        w.batches_applied,
+        w.events_accepted,
+        w.events_folded,
+        w.events_rejected,
+        w.events_dropped,
+        w.watermark,
+        w.watermark_lag,
+        opt_us(w.publish_p50_us),
+        opt_us(w.publish_p99_us)
+    )
+}
+
+fn parse_writer(value: &str) -> Result<WriterStats, String> {
+    let parts: Vec<&str> = value.split(':').collect();
+    let [applied, accepted, folded, rejected, dropped, watermark, lag, p50, p99] = parts[..] else {
+        return Err(format!("malformed writer field {value:?}"));
+    };
+    Ok(WriterStats {
+        batches_applied: parse_num("writer batches", applied)?,
+        events_accepted: parse_num("writer accepted", accepted)?,
+        events_folded: parse_num("writer folded", folded)?,
+        events_rejected: parse_num("writer rejected", rejected)?,
+        events_dropped: parse_num("writer dropped", dropped)?,
+        watermark: parse_num("writer watermark", watermark)?,
+        watermark_lag: parse_num("writer lag", lag)?,
+        publish_p50_us: parse_opt_us("writer p50", p50)?,
+        publish_p99_us: parse_opt_us("writer p99", p99)?,
+        shards: Vec::new(),
+    })
+}
+
+/// Render the `wshards=` field value: `shard:count:p50:p99` entries
+/// joined by commas, like `ops=`.
+fn join_shards(shards: &[ShardLatency]) -> String {
+    shards
+        .iter()
+        .map(|s| format!("{}:{}:{}:{}", s.shard, s.count, opt_us(s.p50_us), opt_us(s.p99_us)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_shards(value: &str) -> Result<Vec<ShardLatency>, String> {
+    value
+        .split(',')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let [shard, count, p50, p99] = parts[..] else {
+                return Err(format!("malformed wshards entry {entry:?}"));
+            };
+            Ok(ShardLatency {
+                shard: parse_num("wshards shard", shard)?,
+                count: parse_num("wshards count", count)?,
+                p50_us: parse_opt_us("wshards p50", p50)?,
+                p99_us: parse_opt_us("wshards p99", p99)?,
+            })
+        })
+        .collect()
 }
 
 fn parse_ops(value: &str) -> Result<Vec<OpLatency>, String> {
@@ -369,7 +464,7 @@ pub(crate) fn text_ok_line(response: &Response) -> String {
             join_list(anchors),
             join_list(followers)
         ),
-        Response::Stats { epochs, served, errors, p50_us, p99_us, per_op } => {
+        Response::Stats { epochs, served, errors, p50_us, p99_us, per_op, writer } => {
             let mut line = format!(
                 "OK stats epochs={epochs} served={served} errors={errors} p50us={} p99us={}",
                 opt_us(*p50_us),
@@ -381,7 +476,22 @@ pub(crate) fn text_ok_line(response: &Response) -> String {
             if !per_op.is_empty() {
                 line.push_str(&format!(" ops={}", join_ops(per_op)));
             }
+            // Same discipline for the writer block: only admission-backed
+            // services emit it, so read-only deployments keep the legacy
+            // line byte for byte.
+            if let Some(w) = writer {
+                line.push_str(&format!(" writer={}", join_writer(w)));
+                if !w.shards.is_empty() {
+                    line.push_str(&format!(" wshards={}", join_shards(&w.shards)));
+                }
+            }
             line
+        }
+        Response::Ingest { t, accepted, folded, rejected, watermark } => {
+            format!(
+                "OK ingest t={t} accepted={accepted} folded={folded} rejected={rejected} \
+                 watermark={watermark}"
+            )
         }
         Response::Bye => "OK bye".into(),
     }
@@ -468,6 +578,24 @@ pub(crate) fn parse_text_response_line(line: &str) -> Result<Response, String> {
                 Some(value) => parse_ops(value)?,
                 None => Vec::new(),
             },
+            // Optional: absent on read-only deployments.
+            writer: match fields.get("writer") {
+                Some(value) => {
+                    let mut w = parse_writer(value)?;
+                    if let Some(shards) = fields.get("wshards") {
+                        w.shards = parse_shards(shards)?;
+                    }
+                    Some(w)
+                }
+                None => None,
+            },
+        },
+        "ingest" => Response::Ingest {
+            t: parse_num("t", &get("t")?)?,
+            accepted: parse_num("accepted", &get("accepted")?)?,
+            folded: parse_num("folded", &get("folded")?)?,
+            rejected: parse_num("rejected", &get("rejected")?)?,
+            watermark: parse_num("watermark", &get("watermark")?)?,
         },
         "bye" => Response::Bye,
         other => return Err(format!("unknown reply kind {other:?}")),
@@ -497,6 +625,8 @@ mod tests {
             Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy },
             Request::Best { k: 4, b: 1, algo: BestAlgo::Olak },
             Request::Stats,
+            Request::Ingest { ts: 42, insertions: vec![(0, 1), (2, 3)], deletions: vec![(4, 5)] },
+            Request::Ingest { ts: 0, insertions: vec![], deletions: vec![] },
         ];
         for req in cases {
             let mut wire = Vec::new();
@@ -537,6 +667,9 @@ mod tests {
             (0..=MAX_ANCHORS as u32).map(|v| v.to_string()).collect::<Vec<_>>().join(",");
         assert!(reject(&format!("ANCHORED 3 {too_many}")).contains("at most"));
         assert!(reject("BEST 3 9999 greedy").contains("at most"));
+        assert!(reject("INGEST 5 1,2,3 -").contains("pair up"));
+        assert!(reject("INGEST 5 1,x -").contains("insertions element"));
+        assert!(reject("INGEST 5 -").contains("3 argument"));
         assert!(reject("\u{1F980} crab").contains("unknown request"));
     }
 
@@ -569,6 +702,7 @@ mod tests {
                     OpLatency { op: OpClass::Core, count: 60, p50_us: Some(9), p99_us: Some(12) },
                     OpLatency { op: OpClass::Best, count: 40, p50_us: Some(800), p99_us: None },
                 ],
+                writer: None,
             },
             Response::Stats {
                 epochs: 1,
@@ -577,7 +711,41 @@ mod tests {
                 p50_us: None,
                 p99_us: None,
                 per_op: vec![],
+                writer: None,
             },
+            Response::Stats {
+                epochs: 12,
+                served: 3,
+                errors: 0,
+                p50_us: Some(8),
+                p99_us: Some(20),
+                per_op: vec![],
+                writer: Some(WriterStats {
+                    batches_applied: 11,
+                    events_accepted: 40,
+                    events_folded: 3,
+                    events_rejected: 2,
+                    events_dropped: 1,
+                    watermark: 14,
+                    watermark_lag: 2,
+                    publish_p50_us: Some(120),
+                    publish_p99_us: None,
+                    shards: vec![
+                        ShardLatency { shard: 0, count: 11, p50_us: Some(30), p99_us: Some(55) },
+                        ShardLatency { shard: 1, count: 11, p50_us: None, p99_us: None },
+                    ],
+                }),
+            },
+            Response::Stats {
+                epochs: 2,
+                served: 0,
+                errors: 0,
+                p50_us: None,
+                p99_us: None,
+                per_op: vec![],
+                writer: Some(WriterStats::default()),
+            },
+            Response::Ingest { t: 5, accepted: 3, folded: 1, rejected: 0, watermark: 9 },
             Response::Bye,
         ];
         for response in cases {
@@ -602,13 +770,14 @@ mod tests {
             p50_us: None,
             p99_us: None,
             per_op: vec![],
+            writer: None,
         };
         assert_eq!(text_ok_line(&quiet), "OK stats epochs=1 served=0 errors=0 p50us=- p99us=-");
         // And a pre-per-op peer's line (no ops field) still parses.
         let legacy = "OK stats epochs=9 served=100 errors=1 p50us=40 p99us=900";
         match parse_text_response_line(legacy).unwrap() {
-            Response::Stats { per_op, served, .. } => {
-                assert_eq!((served, per_op), (100, vec![]));
+            Response::Stats { per_op, served, writer, .. } => {
+                assert_eq!((served, per_op, writer), (100, vec![], None));
             }
             other => panic!("unexpected {other:?}"),
         }

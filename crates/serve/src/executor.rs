@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use avt_core::{AnchoredCoreState, AvtParams, Greedy, Olak, SnapshotSolver};
 
+use crate::admission::{Admission, IngestEvent};
 use crate::protocol::{BestAlgo, Request, Response};
 use crate::stats::ServiceStats;
 use crate::timeline::{EpochFrame, LiveTimeline};
@@ -132,8 +133,50 @@ pub fn execute(
             p50_us: stats.latency.percentile(50.0),
             p99_us: stats.latency.percentile(99.0),
             per_op: stats.per_op_latencies(),
+            // The writer block belongs to the admission buffer, not the
+            // epoch; [`Service`] fills it in when one is attached.
+            writer: None,
         }),
+        // Writes go through the admission buffer, which only a
+        // [`Service::start_with_admission`] service has — `execute` itself
+        // is pure with respect to the timeline and must stay so.
+        Request::Ingest { .. } => Err("ingest not enabled on this service".into()),
     }
+}
+
+/// One worker-side dispatch: `INGEST` goes to the admission buffer (when
+/// the service has one), everything else to [`execute`] against the
+/// current epoch — with `STATS` replies enriched by the writer counters.
+fn run_job(
+    request: &Request,
+    timeline: &Arc<LiveTimeline>,
+    admission: Option<&Admission>,
+    stats: &ServiceStats,
+) -> Result<Response, String> {
+    if let Request::Ingest { ts, insertions, deletions } = request {
+        let Some(adm) = admission else {
+            return Err("ingest not enabled on this service".into());
+        };
+        let mut events: Vec<IngestEvent> = Vec::with_capacity(insertions.len() + deletions.len());
+        events.extend(insertions.iter().map(|&(u, v)| IngestEvent { insert: true, u, v }));
+        events.extend(deletions.iter().map(|&(u, v)| IngestEvent { insert: false, u, v }));
+        return adm
+            .ingest(*ts, &events)
+            .map(|r| Response::Ingest {
+                t: r.t,
+                accepted: r.accepted,
+                folded: r.folded,
+                rejected: r.rejected,
+                watermark: r.watermark,
+            })
+            .map_err(|e| e.to_string());
+    }
+    let epoch = timeline.current();
+    let mut reply = execute(request, &epoch, timeline.epochs_published(), stats);
+    if let (Ok(Response::Stats { writer, .. }), Some(adm)) = (&mut reply, admission) {
+        *writer = Some(adm.snapshot());
+    }
+    reply
 }
 
 /// Configuration of the [`Service`] worker pool.
@@ -224,6 +267,7 @@ struct Job {
 /// ```
 pub struct Service {
     timeline: Arc<LiveTimeline>,
+    admission: Option<Arc<Admission>>,
     stats: Arc<ServiceStats>,
     jobs: mpsc::SyncSender<Job>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -239,8 +283,29 @@ pub struct ShutdownReport {
 }
 
 impl Service {
-    /// Spawn the worker pool and start serving.
+    /// Spawn the worker pool and start serving (queries only — `INGEST`
+    /// is rejected; use [`Service::start_with_admission`] to accept
+    /// writes).
     pub fn start(timeline: Arc<LiveTimeline>, config: ServiceConfig) -> Service {
+        Service::start_inner(timeline, None, config)
+    }
+
+    /// Spawn the worker pool with a write path: `INGEST` requests flow
+    /// through `admission` (staged by timestamp, published on watermark
+    /// advance), and `STATS` replies carry its writer counters.
+    pub fn start_with_admission(
+        timeline: Arc<LiveTimeline>,
+        admission: Arc<Admission>,
+        config: ServiceConfig,
+    ) -> Service {
+        Service::start_inner(timeline, Some(admission), config)
+    }
+
+    fn start_inner(
+        timeline: Arc<LiveTimeline>,
+        admission: Option<Arc<Admission>>,
+        config: ServiceConfig,
+    ) -> Service {
         let workers_n = config.workers.max(1);
         let stats = Arc::new(ServiceStats::default());
         let (jobs, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
@@ -249,6 +314,7 @@ impl Service {
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let timeline = Arc::clone(&timeline);
+                let admission = admission.clone();
                 let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("avt-serve-worker-{i}"))
@@ -259,16 +325,14 @@ impl Service {
                         let Ok(job) = job else { break };
                         let op = job.request.op_class();
                         let start = Instant::now();
-                        let epoch = timeline.current();
-                        let reply =
-                            execute(&job.request, &epoch, timeline.epochs_published(), &stats);
+                        let reply = run_job(&job.request, &timeline, admission.as_deref(), &stats);
                         stats.record(op, reply.is_ok(), start.elapsed().as_micros() as u64);
                         job.reply.deliver(reply);
                     })
                     .expect("spawning a worker thread")
             })
             .collect();
-        Service { timeline, stats, jobs, workers }
+        Service { timeline, admission, stats, jobs, workers }
     }
 
     /// Execute one query, blocking until a worker answers (or until the
@@ -303,6 +367,11 @@ impl Service {
     /// The timeline this service reads.
     pub fn timeline(&self) -> &Arc<LiveTimeline> {
         &self.timeline
+    }
+
+    /// The admission buffer, when this service accepts `INGEST`.
+    pub fn admission(&self) -> Option<&Arc<Admission>> {
+        self.admission.as_ref()
     }
 
     /// Live counters (shared with the workers).
@@ -505,6 +574,47 @@ mod tests {
         assert_eq!(svc.shutdown().worker_panics, 0);
         assert_eq!(stats.served(), 200);
         assert_eq!(stats.errors(), 0);
+    }
+
+    #[test]
+    fn ingest_requires_an_admission_buffer() {
+        let svc = service();
+        let err = svc
+            .query(Request::Ingest { ts: 1, insertions: vec![(6, 9)], deletions: vec![] })
+            .unwrap_err();
+        assert!(err.contains("not enabled"), "got: {err}");
+        let Response::Stats { writer, .. } = svc.query(Request::Stats).unwrap() else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!(writer, None, "no admission, no writer block");
+        assert_eq!(svc.shutdown().worker_panics, 0);
+    }
+
+    #[test]
+    fn ingest_publishes_through_admission_and_shows_in_stats() {
+        let tl = Arc::new(LiveTimeline::new(winged()));
+        let adm = Arc::new(Admission::new(Arc::clone(&tl), 1));
+        let svc = Service::start_with_admission(Arc::clone(&tl), adm, ServiceConfig::default());
+        let Response::Ingest { accepted, watermark, .. } = svc
+            .query(Request::Ingest { ts: 1, insertions: vec![(6, 9)], deletions: vec![] })
+            .unwrap()
+        else {
+            panic!("wrong reply kind")
+        };
+        assert_eq!((accepted, watermark), (1, 1));
+        // ts=3 moves the watermark past 1+lag, publishing the ts=1 bucket.
+        svc.query(Request::Ingest { ts: 3, insertions: vec![(9, 5)], deletions: vec![] }).unwrap();
+        assert!(tl.current().frame.has_edge(6, 9));
+        let Response::Stats { writer, .. } = svc.query(Request::Stats).unwrap() else {
+            panic!("wrong reply kind")
+        };
+        let writer = writer.expect("admission-backed service reports writer stats");
+        assert_eq!(writer.batches_applied, 1);
+        assert_eq!(writer.events_accepted, 2);
+        assert_eq!(writer.watermark, 3);
+        svc.admission().expect("attached").flush().unwrap();
+        assert!(tl.current().frame.has_edge(9, 5));
+        assert_eq!(svc.shutdown().worker_panics, 0);
     }
 
     #[test]

@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod binary;
 pub mod codec;
 pub mod conn;
@@ -72,12 +73,13 @@ pub mod stats;
 pub mod tcp;
 pub mod timeline;
 
+pub use admission::{Admission, IngestEvent, IngestReceipt};
 pub use binary::BinaryCodec;
 pub use codec::{Codec, TextCodec, WireRequest, WireVerb};
 pub use conn::Conn;
 pub use event_loop::EventFront;
 pub use executor::{execute, QueryCallback, Service, ServiceConfig, ShutdownReport, SubmitError};
-pub use protocol::{BestAlgo, OpClass, OpLatency, Request, Response};
+pub use protocol::{BestAlgo, OpClass, OpLatency, Request, Response, ShardLatency, WriterStats};
 pub use stats::ServiceStats;
 pub use tcp::TcpFront;
 pub use timeline::{EpochFrame, EpochReport, LiveTimeline};

@@ -4,6 +4,7 @@
 //! avt-serve [--addr 127.0.0.1:7171] [--workers 2] [--scale 0.02]
 //!           [--epochs 30] [--epoch-ms 100] [--seed 42] [--spill DIR]
 //!           [--front epoll|threads] [--max-connections N]
+//!           [--write-shards N] [--ingest-lag T]
 //! ```
 //!
 //! Starts a [`avt_serve::LiveTimeline`] on a churned dataset stream (the
@@ -16,6 +17,12 @@
 //! `avt-serve listening on <addr>` once the socket is bound (use
 //! `--addr 127.0.0.1:0` for an ephemeral port and scrape that line).
 //!
+//! All writes — the scripted churn script and client `INGEST` requests
+//! alike — funnel through one [`avt_serve::Admission`] watermark buffer,
+//! so out-of-order arrivals within the `--ingest-lag` window fold into
+//! the right epoch and `--write-shards` governs how many range shards
+//! each published batch is peeled across.
+//!
 //! Exit status: 0 on a clean drain, 1 if any query worker panicked, 2 on
 //! usage errors.
 
@@ -27,7 +34,9 @@ use std::time::Duration;
 
 use avt_datasets::Dataset;
 use avt_graph::FrameSource;
-use avt_serve::{EventFront, LiveTimeline, Service, ServiceConfig, TcpFront};
+use avt_serve::{
+    Admission, EventFront, IngestEvent, LiveTimeline, Service, ServiceConfig, TcpFront,
+};
 
 const USAGE: &str = "\
 usage: avt-serve [options]
@@ -48,11 +57,19 @@ options:
                     `threads` (one handler thread per connection)
   --max-connections N  concurrent connection cap (default 8192 for the
                     epoll front, 64 for the threaded one)
+  --write-shards N  range shards for batch peeling (default: the
+                    AVT_WRITE_SHARDS env var, else 1 = the sequential
+                    single-writer path; results are bit-identical)
+  --ingest-lag T    out-of-order admission window in timestamp units:
+                    a batch at ts publishes once the watermark passes
+                    ts + T; older events are rejected as stale
+                    (default 4)
 
 The service speaks the protocols documented in avt_serve::codec and
 avt_serve::binary — text lines (INFO / SPECTRUM / CORE / ANCHORED /
-FOLLOWERS / BEST / STATS / SHUTDOWN) and the pipelined binary framing —
-on the same port; drive it with `loadgen` from avt-bench or plain netcat.
+FOLLOWERS / BEST / INGEST / STATS / SHUTDOWN) and the pipelined binary
+framing — on the same port; drive it with `loadgen` from avt-bench or
+plain netcat.
 ";
 
 struct Args {
@@ -65,6 +82,8 @@ struct Args {
     spill: Option<std::path::PathBuf>,
     threaded_front: bool,
     max_connections: Option<usize>,
+    write_shards: Option<u32>,
+    ingest_lag: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -78,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
         spill: None,
         threaded_front: false,
         max_connections: None,
+        write_shards: None,
+        ingest_lag: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -106,6 +127,12 @@ fn parse_args() -> Result<Args, String> {
                 args.max_connections =
                     Some(value.parse().map_err(|e| format!("--max-connections: {e}"))?)
             }
+            "--write-shards" => {
+                args.write_shards = Some(value.parse().map_err(|e| format!("--write-shards: {e}"))?)
+            }
+            "--ingest-lag" => {
+                args.ingest_lag = value.parse().map_err(|e| format!("--ingest-lag: {e}"))?
+            }
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
@@ -114,6 +141,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.epochs < 1 {
         return Err("--epochs must be at least 1".into());
+    }
+    if args.write_shards == Some(0) {
+        return Err("--write-shards must be at least 1".into());
     }
     Ok(Args { workers: args.workers.max(1), ..args })
 }
@@ -141,24 +171,40 @@ fn main() -> ExitCode {
         args.seed
     );
 
+    if let Some(n) = args.write_shards {
+        avt_kcore::set_write_shards(n);
+    }
+    eprintln!(
+        "# writer: {} shard(s), admission lag {}",
+        avt_kcore::write_shards(),
+        args.ingest_lag
+    );
+
     let timeline = Arc::new(LiveTimeline::new(stream.initial().clone()));
-    let service = Service::start(
+    let admission = Arc::new(Admission::new(Arc::clone(&timeline), args.ingest_lag));
+    let service = Service::start_with_admission(
         Arc::clone(&timeline),
+        Arc::clone(&admission),
         ServiceConfig { workers: args.workers, ..Default::default() },
     );
 
     // Writer: one batch per tick until the script runs out or we shut
-    // down. Pre-scripted batches are always valid, so an apply failure is
-    // a real bug worth crashing the writer (and failing CI) over.
+    // down, routed through the same admission buffer client INGESTs use
+    // (ts = tick index). Admission only errors when a replay borrow is
+    // live, which never happens while the service is up, so an error is
+    // a real bug worth crashing the writer (and failing CI) over. If
+    // clients push the watermark more than the lag window ahead of the
+    // script, the late scripted events surface in the writer stats as
+    // rejected — they are counted, never applied out of order.
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
-        let timeline = Arc::clone(&timeline);
+        let admission = Arc::clone(&admission);
         let stop = Arc::clone(&stop);
         let tick = Duration::from_millis(args.epoch_ms);
         std::thread::Builder::new()
             .name("avt-serve-writer".into())
             .spawn(move || {
-                for batch in batches {
+                for (i, batch) in batches.into_iter().enumerate() {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
@@ -166,7 +212,19 @@ fn main() -> ExitCode {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    timeline.apply_batch(batch).expect("scripted churn batches apply cleanly");
+                    let events: Vec<IngestEvent> = batch
+                        .insertions
+                        .iter()
+                        .map(|e| IngestEvent { insert: true, u: e.u, v: e.v })
+                        .chain(batch.deletions.iter().map(|e| IngestEvent {
+                            insert: false,
+                            u: e.u,
+                            v: e.v,
+                        }))
+                        .collect();
+                    admission
+                        .ingest(i as u64 + 1, &events)
+                        .expect("no replay borrows while serving");
                 }
             })
             .expect("spawning the writer thread")
@@ -199,6 +257,11 @@ fn main() -> ExitCode {
 
     stop.store(true, Ordering::Relaxed);
     let writer_ok = writer.join().is_ok();
+    // Publish everything still inside the lag window so the spill and
+    // the final epoch count reflect every admitted batch.
+    if let Err(e) = admission.flush() {
+        eprintln!("warning: final admission flush failed: {e}");
+    }
 
     if let Some(dir) = &args.spill {
         match timeline.spill(dir) {
@@ -211,6 +274,7 @@ fn main() -> ExitCode {
 
     let stats = Arc::clone(service.stats());
     let report = service.shutdown();
+    let writer_stats = admission.snapshot();
     println!(
         "avt-serve done: epochs={} served={} errors={} p50us={} p99us={} maintenance_visited={}",
         timeline.epochs_published(),
@@ -219,6 +283,18 @@ fn main() -> ExitCode {
         stats.latency.percentile(50.0).map_or("-".into(), |v| v.to_string()),
         stats.latency.percentile(99.0).map_or("-".into(), |v| v.to_string()),
         timeline.maintenance_visited(),
+    );
+    println!(
+        "avt-serve writer: batches={} accepted={} folded={} rejected={} dropped={} \
+         watermark={} publish_p50us={} publish_p99us={}",
+        writer_stats.batches_applied,
+        writer_stats.events_accepted,
+        writer_stats.events_folded,
+        writer_stats.events_rejected,
+        writer_stats.events_dropped,
+        writer_stats.watermark,
+        writer_stats.publish_p50_us.map_or("-".into(), |v| v.to_string()),
+        writer_stats.publish_p99_us.map_or("-".into(), |v| v.to_string()),
     );
 
     match serve_result {

@@ -23,6 +23,7 @@
 //! | `FOLLOWERS k v` | followers of one hypothetical anchor |
 //! | `BEST k b greedy\|olak` | best-`b` anchors + followers + counters |
 //! | `STATS` | service counters incl. per-opcode latency percentiles |
+//! | `INGEST ts ins del` | admission verdict: accepted/folded/rejected + watermark |
 //!
 //! Every *per-epoch* response carries the epoch `t` it was answered at, so
 //! a client interleaving queries with a running writer can tell which
@@ -37,6 +38,12 @@ use avt_graph::VertexId;
 /// request: queries cost O(b · candidates) anchored-decomposition work, and
 /// a service must bound what one request can make it do.
 pub const MAX_ANCHORS: usize = 64;
+
+/// Hard cap on edge events (insertions plus deletions) per `INGEST`
+/// request: one write must not stall the admission buffer — larger loads
+/// split across requests sharing a timestamp, which the staging window
+/// merges back into one epoch anyway.
+pub const MAX_INGEST_EVENTS: usize = 4096;
 
 /// The per-snapshot solver a `BEST` request runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,11 +87,13 @@ pub enum OpClass {
     Best,
     /// `STATS`.
     Stats,
+    /// `INGEST` — external edge events routed through write admission.
+    Ingest,
 }
 
 impl OpClass {
     /// Number of classes (array-index space).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every class, in index order.
     pub const ALL: [OpClass; OpClass::COUNT] = [
@@ -95,6 +104,7 @@ impl OpClass {
         OpClass::Followers,
         OpClass::Best,
         OpClass::Stats,
+        OpClass::Ingest,
     ];
 
     /// Dense index in `0..COUNT`, stable across releases (it is part of
@@ -119,6 +129,7 @@ impl OpClass {
             OpClass::Followers => "followers",
             OpClass::Best => "best",
             OpClass::Stats => "stats",
+            OpClass::Ingest => "ingest",
         }
     }
 
@@ -162,6 +173,17 @@ pub enum Request {
     },
     /// Service counters.
     Stats,
+    /// Edge events for the write path, stamped with a client timestamp.
+    /// Admission stages them in the watermark buffer; they publish when
+    /// the watermark passes their timestamp out of the lag window.
+    Ingest {
+        /// Event timestamp (the client's logical clock).
+        ts: u64,
+        /// Edges to insert, as `(u, v)` pairs.
+        insertions: Vec<(VertexId, VertexId)>,
+        /// Edges to delete, as `(u, v)` pairs.
+        deletions: Vec<(VertexId, VertexId)>,
+    },
 }
 
 impl Request {
@@ -175,6 +197,7 @@ impl Request {
             Request::Followers { .. } => OpClass::Followers,
             Request::Best { .. } => OpClass::Best,
             Request::Stats => OpClass::Stats,
+            Request::Ingest { .. } => OpClass::Ingest,
         }
     }
 }
@@ -190,6 +213,53 @@ pub struct OpLatency {
     pub p50_us: Option<u64>,
     /// p99 executor latency in µs (absent before the first sample).
     pub p99_us: Option<u64>,
+}
+
+/// Latency summary of one writer shard's parallel screen pass, as
+/// reported by `STATS` when the sharded writer is active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLatency {
+    /// Shard index (vertex-range position).
+    pub shard: u32,
+    /// Batches this shard has screened.
+    pub count: u64,
+    /// p50 screen time in µs (absent before the first sample).
+    pub p50_us: Option<u64>,
+    /// p99 screen time in µs (absent before the first sample).
+    pub p99_us: Option<u64>,
+}
+
+/// Writer-path counters carried by [`Response::Stats`] when the service
+/// runs with write admission (the `INGEST` path). Absent on read-only
+/// deployments, which also keeps the legacy text `STATS` line
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WriterStats {
+    /// Batches published as epochs through admission.
+    pub batches_applied: u64,
+    /// Events accepted in order (at or past the watermark).
+    pub events_accepted: u64,
+    /// Straggler events folded into a later epoch (arrived behind the
+    /// watermark but inside the lag window).
+    pub events_folded: u64,
+    /// Events rejected as stale (older than the lag window) — counted,
+    /// never rewound.
+    pub events_rejected: u64,
+    /// Events dropped by the publish-time sanitizer (duplicate inserts,
+    /// deletes of absent edges, self-loops, out-of-range endpoints).
+    pub events_dropped: u64,
+    /// The current watermark (highest event timestamp seen).
+    pub watermark: u64,
+    /// Watermark lag: how far the oldest staged timestamp trails the
+    /// watermark (0 when nothing is staged).
+    pub watermark_lag: u64,
+    /// p50 epoch-publish latency in µs (absent before the first epoch).
+    pub publish_p50_us: Option<u64>,
+    /// p99 epoch-publish latency in µs (absent before the first epoch).
+    pub publish_p99_us: Option<u64>,
+    /// Per-shard screen-time percentiles (empty while the writer runs
+    /// unsharded or before the first sharded batch).
+    pub shards: Vec<ShardLatency>,
 }
 
 /// A successful response. The server answers rejected requests with a
@@ -282,6 +352,22 @@ pub enum Response {
         /// omitted), so cheap/expensive skew — a `BEST` head-of-line
         /// blocking `CORE` — is observable instead of averaged away.
         per_op: Vec<OpLatency>,
+        /// Writer-path counters; `None` on services without write
+        /// admission (keeps the legacy text line byte-identical).
+        writer: Option<WriterStats>,
+    },
+    /// Reply to `INGEST`: the admission verdict for the submitted events.
+    Ingest {
+        /// Epochs published as of this reply.
+        t: u64,
+        /// Events staged in order (at or past the watermark).
+        accepted: u64,
+        /// Straggler events folded into the staged window.
+        folded: u64,
+        /// Events rejected as older than the lag window.
+        rejected: u64,
+        /// The watermark after this request.
+        watermark: u64,
     },
     /// Acknowledgement of a `SHUTDOWN` verb: the last message the service
     /// sends before draining.
@@ -310,5 +396,7 @@ mod tests {
         assert_eq!(Request::Anchored { k: 2, anchors: vec![] }.op_class(), OpClass::Anchored);
         assert_eq!(Request::Best { k: 3, b: 1, algo: BestAlgo::Olak }.op_class(), OpClass::Best);
         assert_eq!(Request::Stats.op_class(), OpClass::Stats);
+        let ingest = Request::Ingest { ts: 7, insertions: vec![(0, 1)], deletions: vec![] };
+        assert_eq!(ingest.op_class(), OpClass::Ingest);
     }
 }

@@ -25,13 +25,13 @@
 //! [`LiveTimeline::spill`]) for audit — the service-vs-offline equivalence
 //! tests are built on exactly this round trip.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use avt_graph::{
     CsrGraph, EdgeBatch, EvolvingGraph, FrameSource, Graph, GraphError, MmapFrames, VertexId,
 };
-use avt_kcore::{ChangeSet, MaintainedCore};
+use avt_kcore::{BatchStats, ChangeSet, MaintainedCore};
 
 /// One published epoch: the frozen frame plus the core numbers the writer
 /// maintained for it. Immutable once published; readers share it by `Arc`.
@@ -71,6 +71,9 @@ pub struct EpochReport {
     pub epoch: Arc<EpochFrame>,
     /// Vertices whose core number changed, from the maintenance layer.
     pub changes: ChangeSet,
+    /// Maintenance-side timing for the apply (per-shard screen micros
+    /// when the sharded writer ran; empty on the per-edge path).
+    pub batch_stats: BatchStats,
 }
 
 /// Writer-side state, guarded by one mutex: there is exactly one logical
@@ -106,6 +109,12 @@ pub struct LiveTimeline {
     /// data itself is never behind the lock.
     published: RwLock<Arc<EpochFrame>>,
     epochs: AtomicU64,
+    /// Live replay borrows (outstanding [`FrameSource::iter_frames`]
+    /// iterators). While nonzero, the writer is required to be quiescent:
+    /// [`Self::apply_batch`] refuses with [`GraphError::WriterBusy`]
+    /// instead of silently invalidating the pipelined replay's
+    /// `num_frames` contract.
+    replay_borrows: AtomicUsize,
 }
 
 impl LiveTimeline {
@@ -122,6 +131,7 @@ impl LiveTimeline {
             writer: Mutex::new(Writer { maintained, history: EvolvingGraph::new(initial), frame }),
             published: RwLock::new(epoch),
             epochs: AtomicU64::new(1),
+            replay_borrows: AtomicUsize::new(0),
         }
     }
 
@@ -138,14 +148,21 @@ impl LiveTimeline {
     /// batch — duplicate insert, deleting an absent edge, out-of-range
     /// endpoint — leaves the timeline exactly where it was and readers
     /// never observe it.
+    /// While a replay borrow is live (see [`Self::replaying`]), admission
+    /// is refused with [`GraphError::WriterBusy`] — the documented
+    /// "quiesced writer" precondition of the pipelined replay, enforced
+    /// instead of trusted.
     pub fn apply_batch(&self, batch: EdgeBatch) -> Result<EpochReport, GraphError> {
+        if self.replaying() {
+            return Err(GraphError::WriterBusy);
+        }
         let mut w = self.writer.lock().expect("writer lock poisoned");
         // Derive-and-validate first; only a clean batch reaches the
         // incremental maintenance below.
         let next = Arc::new(w.frame.apply_batch(&batch)?);
-        let changes = w
+        let (changes, batch_stats) = w
             .maintained
-            .apply_batch(&batch)
+            .apply_batch_timed(&batch)
             .expect("batch already validated against the published frame");
         w.history.push_batch(batch);
         w.frame = Arc::clone(&next);
@@ -156,7 +173,13 @@ impl LiveTimeline {
         ));
         *self.published.write().expect("publish lock poisoned") = Arc::clone(&epoch);
         self.epochs.fetch_add(1, Ordering::Relaxed);
-        Ok(EpochReport { epoch, changes })
+        Ok(EpochReport { epoch, changes, batch_stats })
+    }
+
+    /// True while at least one [`FrameSource::iter_frames`] iterator is
+    /// alive. The writer must stay quiescent until it drops.
+    pub fn replaying(&self) -> bool {
+        self.replay_borrows.load(Ordering::Acquire) > 0
     }
 
     /// The current epoch: a shared handle to the latest published frame.
@@ -198,11 +221,11 @@ impl LiveTimeline {
 /// writer lock (a consistent prefix) and derives the frames from the
 /// clone.
 ///
-/// The sequential engine runner tolerates a writer appending mid-replay
-/// (it simply replays the prefix the walk started with); the *pipelined*
-/// runner checks `num_frames` against delivered reports, so replay a
-/// quiesced timeline — or [`LiveTimeline::freeze`] first — when driving
-/// it.
+/// The pipelined engine runner checks `num_frames` against delivered
+/// reports, so it needs the writer quiescent for the duration of the
+/// walk. That precondition is *enforced*: every live iterator holds a
+/// replay borrow, and [`LiveTimeline::apply_batch`] refuses with
+/// [`GraphError::WriterBusy`] until the last one drops.
 impl FrameSource for LiveTimeline {
     type Frame = CsrGraph;
 
@@ -211,20 +234,33 @@ impl FrameSource for LiveTimeline {
     }
 
     fn iter_frames(&self) -> impl Iterator<Item = (usize, Arc<Self::Frame>)> + Send + '_ {
-        OwnedFrameIter { evolving: self.freeze(), current: None, next_t: 1 }
+        self.replay_borrows.fetch_add(1, Ordering::AcqRel);
+        let guard = ReplayGuard(&self.replay_borrows);
+        OwnedFrameIter { evolving: self.freeze(), current: None, next_t: 1, _guard: guard }
+    }
+}
+
+/// Drop bomb for the replay-borrow count: releases the borrow taken in
+/// [`FrameSource::iter_frames`] when the iterator goes away.
+struct ReplayGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ReplayGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
 /// Owning variant of [`avt_graph::EvolvingGraph::frames_arc`]'s iterator:
 /// holds the cloned history itself, so the walk outlives the lock it was
 /// snapshotted under.
-struct OwnedFrameIter {
+struct OwnedFrameIter<'a> {
     evolving: EvolvingGraph,
     current: Option<Arc<CsrGraph>>,
     next_t: usize,
+    _guard: ReplayGuard<'a>,
 }
 
-impl Iterator for OwnedFrameIter {
+impl Iterator for OwnedFrameIter<'_> {
     type Item = (usize, Arc<CsrGraph>);
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -332,6 +368,25 @@ mod tests {
         assert_eq!(frames.num_frames(), 2);
         assert_eq!(frames.frame(2).unwrap().num_edges(), 5);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn apply_batch_refuses_while_replay_borrow_is_live() {
+        let tl = start();
+        tl.apply_batch(EdgeBatch::from_pairs([(3, 4)], [])).unwrap();
+        let mut walk = tl.iter_frames();
+        assert!(walk.next().is_some());
+        assert!(tl.replaying());
+        // The quiesced-writer precondition is enforced, not documented:
+        // admissions bounce until the replay borrow drops.
+        assert!(matches!(
+            tl.apply_batch(EdgeBatch::from_pairs([(4, 1)], [])),
+            Err(GraphError::WriterBusy)
+        ));
+        assert_eq!(tl.epochs_published(), 2);
+        drop(walk);
+        assert!(!tl.replaying());
+        assert_eq!(tl.apply_batch(EdgeBatch::from_pairs([(4, 1)], [])).unwrap().epoch.t, 3);
     }
 
     #[test]

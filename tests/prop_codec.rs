@@ -9,7 +9,9 @@
 //! here holds for both wire formats end to end.
 
 use avt_serve::codec::{Codec, TextCodec, WireVerb};
-use avt_serve::protocol::{BestAlgo, OpClass, OpLatency, Request, Response};
+use avt_serve::protocol::{
+    BestAlgo, OpClass, OpLatency, Request, Response, ShardLatency, WriterStats,
+};
 use avt_serve::BinaryCodec;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -18,18 +20,23 @@ static CODECS: [&dyn Codec; 2] = [&TextCodec, &BinaryCodec];
 
 /// Build one request from drawn raw values (the shim has no `prop_oneof`).
 fn build_request(kind: u8, v: u32, k: u32, anchors: Vec<u32>, b: usize) -> Request {
-    match kind % 7 {
+    match kind % 8 {
         0 => Request::Info,
         1 => Request::Spectrum,
         2 => Request::Core(v),
         3 => Request::Anchored { k, anchors },
         4 => Request::Followers { k, anchor: v },
         5 => Request::Best { k, b, algo: BestAlgo::Greedy },
-        _ => Request::Best { k, b, algo: BestAlgo::Olak },
+        6 => Request::Best { k, b, algo: BestAlgo::Olak },
+        _ => Request::Ingest {
+            ts: v as u64,
+            insertions: anchors.chunks_exact(2).map(|c| (c[0], c[1])).collect(),
+            deletions: if b.is_multiple_of(2) { vec![(k, v)] } else { vec![] },
+        },
     }
 }
 
-/// Build one response verdict from drawn raw values. `kind % 9 == 8`
+/// Build one response verdict from drawn raw values. `kind % 10 == 9`
 /// yields the `Err` branch (an executor rejection travelling the wire).
 #[allow(clippy::too_many_arguments)]
 fn build_reply(
@@ -44,7 +51,7 @@ fn build_reply(
 ) -> Result<Response, String> {
     let (a, b, c) = counts;
     let opt = |on: bool, value: u64| if on { Some(value) } else { None };
-    Ok(match kind % 9 {
+    Ok(match kind % 10 {
         0 => Response::Info { t, n: v as usize, m: k as usize, epochs: a },
         1 => Response::Spectrum { t, shells: list.iter().map(|&x| x as usize).collect() },
         2 => Response::Core { t, v, core: k },
@@ -77,8 +84,43 @@ fn build_reply(
                     p99_us: opt(optional.1, us.saturating_add(1)),
                 })
                 .collect(),
+            // Half the drawn stats replies carry a writer block, built
+            // from the same raw values, with up to four shard rows.
+            writer: if v.is_multiple_of(2) {
+                None
+            } else {
+                Some(WriterStats {
+                    batches_applied: a % 10_000,
+                    events_accepted: b % 10_000,
+                    events_folded: c % 1_000,
+                    events_rejected: a % 7,
+                    events_dropped: b % 5,
+                    watermark: c % 100_000,
+                    watermark_lag: a % 16,
+                    publish_p50_us: opt(optional.0, c % 1_000),
+                    publish_p99_us: opt(optional.1, c % 2_000),
+                    shards: list
+                        .iter()
+                        .take(4)
+                        .enumerate()
+                        .map(|(i, &x)| ShardLatency {
+                            shard: i as u32,
+                            count: x as u64,
+                            p50_us: opt(optional.0, x as u64 % 500),
+                            p99_us: opt(optional.1, x as u64 % 900),
+                        })
+                        .collect(),
+                })
+            },
         },
         7 => Response::Bye,
+        8 => Response::Ingest {
+            t: a,
+            accepted: b % 10_000,
+            folded: c % 1_000,
+            rejected: a % 100,
+            watermark: b % 100_000,
+        },
         _ => return Err(format!("rejected: query {v} failed at t={t}")),
     })
 }
@@ -90,7 +132,7 @@ proptest! {
     /// measures exactly the bytes the encoder emitted.
     #[test]
     fn requests_round_trip_both_codecs(
-        kind in 0u8..7,
+        kind in 0u8..8,
         id in 0u64..u64::MAX,
         v in 0u32..1_000_000,
         k in 1u32..64,
@@ -123,7 +165,7 @@ proptest! {
     /// round-trip through both codecs.
     #[test]
     fn replies_round_trip_both_codecs(
-        kind in 0u8..9,
+        kind in 0u8..10,
         id in 0u64..u64::MAX,
         t in 0usize..10_000,
         v in 0u32..1_000_000,
@@ -157,7 +199,7 @@ proptest! {
     /// never a *fatal* verdict on a prefix of well-formed input.
     #[test]
     fn truncated_frames_ask_for_more(
-        kind in 0u8..7,
+        kind in 0u8..8,
         id in 0u64..u64::MAX,
         v in 0u32..1_000_000,
         k in 1u32..64,
@@ -206,7 +248,7 @@ proptest! {
     /// past the bytes on hand.
     #[test]
     fn binary_bitflips_never_panic(
-        kind in 0u8..7,
+        kind in 0u8..8,
         id in 0u64..u64::MAX,
         v in 0u32..1_000_000,
         k in 1u32..64,

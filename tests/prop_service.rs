@@ -222,3 +222,17 @@ fn figure1_stream_served_equals_offline() {
     let params = AvtParams::new(3, 2);
     assert_service_offline_equivalence(&eg, params, 3);
 }
+
+/// The same full battery with the writer's peel sharded four ways
+/// (`AVT_WRITE_SHARDS=4`, set programmatically). Sharded batch apply is
+/// bit-identical to the sequential path, so every assertion must hold
+/// unchanged; other tests in this binary racing the axis flip is harmless
+/// for the same reason — either path gives the same answers.
+#[test]
+fn churned_stream_served_equals_offline_with_four_write_shards() {
+    avt::kcore::set_write_shards(4);
+    let eg = churned(gnm(24, 72, 11), 4, 0x5a5a);
+    let params = AvtParams::new(pick_k(&eg), 2);
+    assert_service_offline_equivalence(&eg, params, 2);
+    avt::kcore::set_write_shards(1);
+}
