@@ -1,0 +1,113 @@
+//! Scheduler microbenchmarks: the PR 9 two-lane executor against the
+//! single-queue baseline, and the work-stealing engine runner against
+//! its sequential and pipelined siblings.
+//!
+//! * `sched/executor/{fifo,lanes}` — one in-process [`Service`] per
+//!   mode on the same graph, a fixed CORE-heavy-plus-BEST request mix
+//!   fired from four submitter threads; the measured quantity is
+//!   drain-the-mix wall time. Lanes win by keeping cheap CORE lookups
+//!   from queueing behind BEST solves.
+//! * `sched/engine/{sequential,pipelined-t4,stealing-t4}` — the same
+//!   Greedy tracking run under all three runners; stealing must track
+//!   pipelined (same credit discipline) while rebalancing skew.
+//!
+//! Labels fold into `BENCH_9.json` via the criterion shim; the lane cost
+//! model reads those medians back at serve startup.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avt_core::engine::{run_pipelined, run_sequential, run_stealing};
+use avt_core::{AvtParams, Greedy};
+use avt_datasets::chunglu::chung_lu;
+use avt_datasets::churn::{evolve, ChurnConfig};
+use avt_graph::{EvolvingGraph, Graph};
+use avt_serve::{BestAlgo, LiveTimeline, Request, SchedMode, Service, ServiceConfig};
+
+/// The serving graph: big enough that a BEST solve is visibly expensive
+/// next to a CORE lookup, small enough for a smoke run.
+fn serve_graph() -> Graph {
+    chung_lu(4_000, 16_000, 2.4, 42)
+}
+
+/// The engine stream: a churned mid-size instance with snapshot-to-
+/// snapshot cost skew (churn makes some frames harder), which is what
+/// stealing rebalances.
+fn engine_stream() -> EvolvingGraph {
+    let base = chung_lu(2_000, 8_000, 2.4, 7);
+    let config = ChurnConfig {
+        snapshots: 8,
+        remove_min: 20,
+        remove_max: 60,
+        insert_min: 80,
+        insert_max: 200,
+    };
+    evolve(base, config, 11)
+}
+
+/// The mixed request list: mostly cheap lookups with a BEST solve every
+/// eighth request — the read mix the lanes scheduler is built for.
+fn request_mix(n: usize) -> Vec<Request> {
+    (0..256)
+        .map(|i| match i % 8 {
+            7 => Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy },
+            3 => Request::Followers { k: 3, anchor: (i * 37 % n) as u32 },
+            _ => Request::Core((i * 131 % n) as u32),
+        })
+        .collect()
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let graph = serve_graph();
+    let n = 4_000usize;
+    let requests = request_mix(n);
+
+    let mut g = c.benchmark_group("sched/executor");
+    g.sample_size(10);
+    for (label, sched) in [("fifo", SchedMode::Fifo), ("lanes", SchedMode::Lanes)] {
+        let timeline = Arc::new(LiveTimeline::new(graph.clone()));
+        let service = Service::start(
+            Arc::clone(&timeline),
+            ServiceConfig { workers: 4, queue_depth: 64, sched },
+        );
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for chunk in requests.chunks(requests.len() / 4) {
+                        let service = &service;
+                        scope.spawn(move || {
+                            for request in chunk {
+                                service.query(request.clone()).expect("read mix succeeds");
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        assert_eq!(service.shutdown().worker_panics, 0);
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let eg = engine_stream();
+    let params = AvtParams::new(3, 2);
+    let solver = Greedy::default();
+
+    let mut g = c.benchmark_group("sched/engine");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| run_sequential(&solver, &eg, params).unwrap().total_followers())
+    });
+    g.bench_function("pipelined-t4", |b| {
+        b.iter(|| run_pipelined(&solver, &eg, params, 4).unwrap().total_followers())
+    });
+    g.bench_function("stealing-t4", |b| {
+        b.iter(|| run_stealing(&solver, &eg, params, 4).unwrap().total_followers())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_engine);
+criterion_main!(benches);

@@ -59,7 +59,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use avt_serve::codec::{Codec, TextCodec};
-use avt_serve::protocol::{BestAlgo, Request, Response};
+use avt_serve::protocol::{BestAlgo, OpClass, Request, Response};
 use avt_serve::stats::percentile_of;
 use avt_serve::BinaryCodec;
 use rand::rngs::SmallRng;
@@ -284,7 +284,9 @@ fn calibrate_k(shells: &[usize]) -> u32 {
 struct ClientOutcome {
     ok: u64,
     errors: u64,
-    latencies_us: Vec<u64>,
+    /// Each success tagged with its verb, so the report can break the
+    /// percentiles down per [`OpClass`] as well as overall.
+    latencies_us: Vec<(OpClass, u64)>,
 }
 
 /// One `INGEST` write: a couple of edge events on random endpoints,
@@ -354,13 +356,14 @@ fn run_client(
         ClientOutcome { ok: 0, errors: 0, latencies_us: Vec::with_capacity(requests) };
     for _ in 0..requests {
         let request = pick_request(&mut rng, n, k, mix);
+        let op = request.op_class();
         let start = Instant::now();
         match client.call(&request) {
             Ok(_) => {
                 // Only successful round trips feed the percentiles —
                 // a failed request measured nothing (mirrors the
                 // server-side ServiceStats::note_error design).
-                outcome.latencies_us.push(start.elapsed().as_micros() as u64);
+                outcome.latencies_us.push((op, start.elapsed().as_micros() as u64));
                 outcome.ok += 1;
             }
             Err(message) => {
@@ -382,7 +385,9 @@ fn run_client(
 /// reuses the server's `epoll` wrapper.
 #[cfg(target_os = "linux")]
 mod open_loop {
-    use super::{pick_request, Codec, Duration, IngestMix, Instant, Read, TcpStream, Write};
+    use super::{
+        pick_request, Codec, Duration, IngestMix, Instant, OpClass, Read, TcpStream, Write,
+    };
     use avt_serve::Poller;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -404,8 +409,8 @@ mod open_loop {
         pub completed: u64,
         pub errors: u64,
         /// Latency of each success, measured from the request's
-        /// *scheduled* send time.
-        pub latencies_us: Vec<u64>,
+        /// *scheduled* send time and tagged with its verb.
+        pub latencies_us: Vec<(OpClass, u64)>,
         pub wall: Duration,
     }
 
@@ -458,6 +463,9 @@ mod open_loop {
         let mut completed = 0u64;
         let mut errors = 0u64;
         let mut latencies_us = Vec::with_capacity(cfg.total);
+        // Verb of request `i`, filled in send order: replies only carry
+        // the index, and the per-op table needs the class back.
+        let mut ops: Vec<OpClass> = Vec::with_capacity(cfg.total);
         let mut events = Vec::new();
         let mut touched: Vec<usize> = Vec::new();
 
@@ -470,6 +478,7 @@ mod open_loop {
                 let idx = next_send as u64;
                 next_send += 1;
                 let request = pick_request(&mut rng, cfg.n, cfg.k, cfg.mix);
+                ops.push(request.op_class());
                 let conn = &mut conns[idx as usize % cfg.connections];
                 cfg.codec.encode_request(idx, &request, &mut conn.wbuf);
                 conn.sent.push_back(idx);
@@ -494,6 +503,7 @@ mod open_loop {
                         &mut conns[token],
                         cfg,
                         &sched,
+                        &ops,
                         &mut completed,
                         &mut errors,
                         &mut latencies_us,
@@ -544,13 +554,15 @@ mod open_loop {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn drain_replies(
         conn: &mut OConn,
         cfg: &Config<'_>,
         sched: &impl Fn(usize) -> Instant,
+        ops: &[OpClass],
         completed: &mut u64,
         errors: &mut u64,
-        latencies_us: &mut Vec<u64>,
+        latencies_us: &mut Vec<(OpClass, u64)>,
     ) -> Result<(), String> {
         let mut buf = [0u8; 16 * 1024];
         loop {
@@ -578,9 +590,8 @@ mod open_loop {
             match reply {
                 Ok(_) => {
                     *completed += 1;
-                    latencies_us
-                        .push(now.saturating_duration_since(sched(idx as usize)).as_micros()
-                            as u64);
+                    let us = now.saturating_duration_since(sched(idx as usize)).as_micros() as u64;
+                    latencies_us.push((ops[idx as usize], us));
                 }
                 Err(message) => {
                     *errors += 1;
@@ -625,7 +636,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (ok, errors, mut latencies, transport_failures);
+    let (ok, errors, latencies, transport_failures);
     if let Some(offered_qps) = args.offered_qps {
         // --- Open loop ---
         #[cfg(not(target_os = "linux"))]
@@ -683,7 +694,7 @@ fn main() -> ExitCode {
 
         let mut total_ok = 0u64;
         let mut total_errors = 0u64;
-        let mut all_latencies: Vec<u64> = Vec::new();
+        let mut all_latencies: Vec<(OpClass, u64)> = Vec::new();
         let mut failures = 0usize;
         for outcome in outcomes {
             match outcome {
@@ -699,10 +710,10 @@ fn main() -> ExitCode {
             }
         }
         let qps = total_ok as f64 / wall.as_secs_f64().max(1e-9);
-        all_latencies.sort_unstable();
-        let mut pct = |p: f64| {
-            percentile_of(&mut all_latencies, p).map_or("-".into(), |v: u64| v.to_string())
-        };
+        let mut values: Vec<u64> = all_latencies.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        let mut pct =
+            |p: f64| percentile_of(&mut values, p).map_or("-".into(), |v: u64| v.to_string());
         println!(
             "loadgen: clients={} requests={requests} served={total_ok} errors={total_errors} \
              wall_ms={} qps={qps:.0} p50us={} p95us={} p99us={}",
@@ -717,7 +728,10 @@ fn main() -> ExitCode {
         latencies = all_latencies;
         transport_failures = failures;
     }
-    let _ = &mut latencies; // sorted where reported; kept for symmetry
+    // The client-side view per verb: the closed loop measures round
+    // trips, the open loop measures from scheduled send — either way the
+    // table shows which classes carry the tail.
+    println!("loadgen: client per-op: ops={}", client_op_table(&latencies));
 
     // Server-side view after the run (and optional teardown).
     match probe.call(&Request::Stats) {
@@ -729,6 +743,7 @@ fn main() -> ExitCode {
             p99_us,
             per_op,
             writer,
+            sched,
         }) => {
             let opt = |v: Option<u64>| v.map_or("-".into(), |v: u64| v.to_string());
             let ops = per_op
@@ -770,6 +785,21 @@ fn main() -> ExitCode {
                     if shards.is_empty() { "-".into() } else { shards },
                 );
             }
+            // The scheduler block only exists on lanes-mode servers.
+            if let Some(s) = sched {
+                println!(
+                    "loadgen: server sched: cheap={}:{}:{} expensive={}:{}:{} \
+                     err_pct_p50={} err_pct_p99={} (depth:served:stolen)",
+                    s.cheap.depth,
+                    s.cheap.served,
+                    s.cheap.stolen,
+                    s.expensive.depth,
+                    s.expensive.served,
+                    s.expensive.stolen,
+                    opt(s.err_pct_p50),
+                    opt(s.err_pct_p99),
+                );
+            }
         }
         other => eprintln!("loadgen: STATS after run failed: {other:?}"),
     }
@@ -798,11 +828,38 @@ fn main() -> ExitCode {
     }
 }
 
+/// The client-side per-verb latency table: one `verb:count:p50:p95:p99`
+/// column per class with traffic, in [`OpClass::ALL`] order. Measured at
+/// the same point as the overall percentiles, so the columns decompose
+/// them — under the lanes scheduler the interesting read is cheap-verb
+/// (CORE) tails against expensive-verb (BEST) tails.
+fn client_op_table(tagged: &[(OpClass, u64)]) -> String {
+    let mut cols = Vec::new();
+    for op in OpClass::ALL {
+        let mut vals: Vec<u64> =
+            tagged.iter().filter(|&&(o, _)| o == op).map(|&(_, v)| v).collect();
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_unstable();
+        let count = vals.len();
+        let p50 = percentile_of(&mut vals, 50.0).map_or("-".into(), |v: u64| v.to_string());
+        let p95 = percentile_of(&mut vals, 95.0).map_or("-".into(), |v: u64| v.to_string());
+        let p99 = percentile_of(&mut vals, 99.0).map_or("-".into(), |v: u64| v.to_string());
+        cols.push(format!("{}:{count}:{p50}:{p95}:{p99}", op.wire_name()));
+    }
+    if cols.is_empty() {
+        "-".into()
+    } else {
+        cols.join(",")
+    }
+}
+
 /// Print the open-loop report: achieved-vs-offered is the saturation
 /// signal, and the percentiles are from *scheduled* send times.
 #[cfg(target_os = "linux")]
 fn outcomes_report_open(cfg: &open_loop::Config<'_>, outcome: &open_loop::Outcome, achieved: f64) {
-    let mut latencies = outcome.latencies_us.clone();
+    let mut latencies: Vec<u64> = outcome.latencies_us.iter().map(|&(_, v)| v).collect();
     latencies.sort_unstable();
     let mut pct =
         |p: f64| percentile_of(&mut latencies, p).map_or("-".into(), |v: u64| v.to_string());

@@ -1,0 +1,224 @@
+//! Per-worker deques with work stealing — the queue fabric shared by the
+//! engine's [`run_stealing`](crate::engine::run_stealing) runner and the
+//! serving scheduler (`avt_serve::sched`).
+//!
+//! The structure is the classic one: every worker owns a deque, producers
+//! push to a specific worker's deque, and an idle worker scans a caller
+//! supplied *victim order* — its own deque first, then whichever siblings
+//! the policy says to rob, in that order. The policy lives entirely in the
+//! order slice, so the same fabric serves two very different masters:
+//!
+//! * the offline engine rotates through every deque (`i, i+1, …, wrap`),
+//!   pure load balancing;
+//! * the serving scheduler lists same-lane deques before the expensive
+//!   lane, so cheap reads keep flowing under a heavy mix and expensive
+//!   work is stolen only as a last resort.
+//!
+//! Synchronization is deliberately coarse: one mutex guards all deques,
+//! with a condvar for idle workers. The jobs queued here are microsecond-
+//! to-millisecond solves, so a nanosecond-scale critical section (a
+//! `VecDeque` push or pop) is never the bottleneck — what matters for tail
+//! latency is the *shape* (which deque, which victim order), not a
+//! lock-free fast path. Coarse locking also makes the blocking pop and the
+//! close/drain handshake trivially free of lost wakeups.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// An item popped from the fabric, tagged with the deque it came from so
+/// callers can tell a local pop (`from == order[0]`) from a steal.
+#[derive(Debug)]
+pub struct Stolen<T> {
+    /// The dequeued item.
+    pub item: T,
+    /// Index of the deque the item was taken from.
+    pub from: usize,
+}
+
+struct Inner<T> {
+    deques: Vec<VecDeque<T>>,
+    closed: bool,
+}
+
+/// A fixed set of per-worker deques supporting push-to-worker, blocking
+/// pop with an explicit victim order, and a close/drain shutdown
+/// handshake (items queued before [`close`](StealQueues::close) are still
+/// handed out; pops return `None` only once closed *and* drained).
+pub struct StealQueues<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    steals: AtomicU64,
+}
+
+impl<T> StealQueues<T> {
+    /// A fabric of `workers` empty deques (`workers ≥ 1`).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a steal fabric needs at least one deque");
+        StealQueues {
+            inner: Mutex::new(Inner {
+                deques: (0..workers).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of deques (== workers).
+    pub fn workers(&self) -> usize {
+        self.lock().deques.len()
+    }
+
+    /// Append `item` to `worker`'s deque, waking one sleeper. Returns the
+    /// item back if the fabric is already closed.
+    pub fn push(&self, worker: usize, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(item);
+        }
+        inner.deques[worker].push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pop the oldest item from the first non-empty deque in `order`
+    /// without blocking. `None` means every listed deque is empty (closed
+    /// or not).
+    pub fn try_pop(&self, order: &[usize]) -> Option<Stolen<T>> {
+        let mut inner = self.lock();
+        self.scan(&mut inner, order)
+    }
+
+    /// Blocking pop: the oldest item from the first non-empty deque in
+    /// `order`, sleeping while all of them are empty. Returns `None` only
+    /// once the fabric is closed and the listed deques are drained.
+    ///
+    /// The victim order is the scheduling policy: `order[0]` is "my own
+    /// deque", the rest are victims in preference order. Items taken from
+    /// any deque but `order[0]` count as steals.
+    pub fn pop(&self, order: &[usize]) -> Option<Stolen<T>> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(stolen) = self.scan(&mut inner, order) {
+                return Some(stolen);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("steal fabric lock poisoned");
+        }
+    }
+
+    /// Close the fabric: future pushes bounce, sleeping poppers wake, and
+    /// pops drain whatever is still queued before returning `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Total items currently queued across all deques.
+    pub fn len(&self) -> usize {
+        self.lock().deques.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether every deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items currently queued in `worker`'s deque.
+    pub fn depth(&self, worker: usize) -> usize {
+        self.lock().deques[worker].len()
+    }
+
+    /// Cumulative count of pops that robbed a deque other than `order[0]`.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    fn scan(&self, inner: &mut Inner<T>, order: &[usize]) -> Option<Stolen<T>> {
+        for (rank, &victim) in order.iter().enumerate() {
+            if let Some(item) = inner.deques[victim].pop_front() {
+                if rank > 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(Stolen { item, from: victim });
+            }
+        }
+        None
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().expect("steal fabric lock poisoned")
+    }
+}
+
+/// The rotation `[worker, worker+1, …, wrap]` — the engine's victim order:
+/// own deque first, then every sibling, pure load balancing.
+pub fn rotation(worker: usize, workers: usize) -> Vec<usize> {
+    (0..workers).map(|i| (worker + i) % workers).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_own_deque_before_stealing() {
+        let q = StealQueues::new(2);
+        q.push(0, "a").unwrap();
+        q.push(1, "b").unwrap();
+        let got = q.pop(&rotation(1, 2)).unwrap();
+        assert_eq!((got.item, got.from), ("b", 1));
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn steals_in_victim_order_and_counts() {
+        let q = StealQueues::new(3);
+        q.push(2, "late").unwrap();
+        q.push(0, "first").unwrap();
+        // Worker 1's own deque is empty; order says rob 2 before 0.
+        let got = q.pop(&[1, 2, 0]).unwrap();
+        assert_eq!((got.item, got.from), ("late", 2));
+        assert_eq!(q.steals(), 1);
+        let got = q.pop(&[1, 2, 0]).unwrap();
+        assert_eq!((got.item, got.from), ("first", 0));
+        assert_eq!(q.steals(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = StealQueues::new(1);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        q.close();
+        assert_eq!(q.push(0, 3).unwrap_err(), 3);
+        assert_eq!(q.pop(&[0]).unwrap().item, 1);
+        assert_eq!(q.pop(&[0]).unwrap().item, 2);
+        assert!(q.pop(&[0]).is_none());
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_on_close() {
+        let q = std::sync::Arc::new(StealQueues::new(2));
+        let handle = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(stolen) = q.pop(&rotation(1, 2)) {
+                    got.push(stolen.item);
+                }
+                got
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(0, 7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(handle.join().unwrap(), vec![7]);
+        assert_eq!(q.steals(), 1);
+    }
+}

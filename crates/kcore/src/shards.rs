@@ -52,7 +52,10 @@ pub fn write_shards() -> u32 {
 
 fn from_env() -> u32 {
     match std::env::var("AVT_WRITE_SHARDS") {
-        Ok(v) => match v.parse::<u32>() {
+        // Trim before parsing — `AVT_WRITE_SHARDS="4 "` from a shell
+        // script is an intent, not a typo — matching the
+        // `AVT_ENGINE_THREADS` and `AVT_SCHED` axes.
+        Ok(v) => match v.trim().parse::<u32>() {
             Ok(n) if (1..=MAX_WRITE_SHARDS).contains(&n) => n,
             _ => {
                 static WARN_ONCE: Once = Once::new();

@@ -69,6 +69,7 @@ pub mod conn;
 pub mod event_loop;
 pub mod executor;
 pub mod protocol;
+pub mod sched;
 pub mod stats;
 pub mod tcp;
 pub mod timeline;
@@ -79,7 +80,11 @@ pub use codec::{Codec, TextCodec, WireRequest, WireVerb};
 pub use conn::Conn;
 pub use event_loop::EventFront;
 pub use executor::{execute, QueryCallback, Service, ServiceConfig, ShutdownReport, SubmitError};
-pub use protocol::{BestAlgo, OpClass, OpLatency, Request, Response, ShardLatency, WriterStats};
+pub use protocol::{
+    BestAlgo, LaneStats, OpClass, OpLatency, Request, Response, SchedStats, ShardLatency,
+    WriterStats,
+};
+pub use sched::{sched_mode, set_sched_bench, set_sched_mode, CostModel, Lane, SchedMode};
 pub use stats::ServiceStats;
 pub use tcp::TcpFront;
 pub use timeline::{EpochFrame, EpochReport, LiveTimeline};

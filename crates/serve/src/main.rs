@@ -5,6 +5,7 @@
 //!           [--epochs 30] [--epoch-ms 100] [--seed 42] [--spill DIR]
 //!           [--front epoll|threads] [--max-connections N]
 //!           [--write-shards N] [--ingest-lag T]
+//!           [--sched fifo|lanes] [--sched-bench PATH]
 //! ```
 //!
 //! Starts a [`avt_serve::LiveTimeline`] on a churned dataset stream (the
@@ -64,6 +65,14 @@ options:
                     a batch at ts publishes once the watermark passes
                     ts + T; older events are rejected as stale
                     (default 4)
+  --sched KIND      query executor: `fifo` (one shared queue, the
+                    default) or `lanes` (cheap/expensive work-stealing
+                    lanes priced by the cost model); overrides the
+                    AVT_SCHED env var
+  --sched-bench PATH  BENCH_*.json snapshot to seed the lane cost model
+                    from (default: $AVT_SCHED_BENCH, else BENCH_9.json /
+                    BENCH_8.json beside the binary's working directory,
+                    else built-in rates)
 
 The service speaks the protocols documented in avt_serve::codec and
 avt_serve::binary — text lines (INFO / SPECTRUM / CORE / ANCHORED /
@@ -84,6 +93,8 @@ struct Args {
     max_connections: Option<usize>,
     write_shards: Option<u32>,
     ingest_lag: u64,
+    sched: Option<avt_serve::SchedMode>,
+    sched_bench: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -99,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
         max_connections: None,
         write_shards: None,
         ingest_lag: 4,
+        sched: None,
+        sched_bench: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -133,6 +146,13 @@ fn parse_args() -> Result<Args, String> {
             "--ingest-lag" => {
                 args.ingest_lag = value.parse().map_err(|e| format!("--ingest-lag: {e}"))?
             }
+            "--sched" => {
+                args.sched = Some(
+                    avt_serve::SchedMode::parse(&value)
+                        .ok_or_else(|| format!("--sched must be fifo or lanes, got {value}"))?,
+                )
+            }
+            "--sched-bench" => args.sched_bench = Some(value),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
@@ -179,6 +199,14 @@ fn main() -> ExitCode {
         avt_kcore::write_shards(),
         args.ingest_lag
     );
+
+    if let Some(mode) = args.sched {
+        avt_serve::set_sched_mode(mode);
+    }
+    if let Some(path) = &args.sched_bench {
+        avt_serve::set_sched_bench(path);
+    }
+    eprintln!("# scheduler: {}", avt_serve::sched_mode().as_str());
 
     let timeline = Arc::new(LiveTimeline::new(stream.initial().clone()));
     let admission = Arc::new(Admission::new(Arc::clone(&timeline), args.ingest_lag));

@@ -1,0 +1,225 @@
+//! Property tests for the two-lane scheduler (PR 9) — the invariant is
+//! the same one every prior axis pinned: scheduling is *pure policy*.
+//!
+//! * **Executor equivalence.** The lanes backend answers every read-only
+//!   request byte-identically to the fifo backend, under concurrent
+//!   submitters — lanes reorder *execution*, never *answers*.
+//! * **Runner equivalence.** [`run_stealing`] produces the identical
+//!   result shape (anchors, followers, core sizes, metrics) as
+//!   [`run_sequential`] on ER, BA, and churned instances for Greedy,
+//!   OLAK, and RCM at any worker count — the reorder-window sink makes
+//!   work stealing invisible.
+//! * **Handback.** A saturated or closed service returns the job to the
+//!   caller ([`SubmitError::Full`] / [`SubmitError::Closed`]) instead of
+//!   dropping it, identically under both scheduler modes.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use avt::algo::engine::{run_sequential, run_stealing, SnapshotSolver};
+use avt::algo::{AvtParams, Greedy, Metrics, Olak, Rcm};
+use avt::datasets::ba::barabasi_albert;
+use avt::datasets::churn::{evolve, ChurnConfig};
+use avt::datasets::er::gnm;
+use avt::graph::{EvolvingGraph, Graph, VertexId};
+use avt_serve::{
+    BestAlgo, LiveTimeline, Request, Response, SchedMode, Service, ServiceConfig, SubmitError,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Evolve a base graph with a small churn model so the instance has real
+/// insertions *and* deletions across a handful of snapshots.
+fn churned(base: Graph, snapshots: usize, seed: u64) -> EvolvingGraph {
+    let config =
+        ChurnConfig { snapshots, remove_min: 1, remove_max: 4, insert_min: 1, insert_max: 4 };
+    evolve(base, config, seed)
+}
+
+/// Everything determinism covers, per snapshot: anchors, followers, core
+/// sizes, counters. Wall-clock fields are deliberately excluded.
+type Shape = Vec<(usize, Vec<VertexId>, Vec<VertexId>, usize, usize, Metrics)>;
+
+fn shape(result: &avt::algo::AvtResult) -> Shape {
+    result
+        .reports
+        .iter()
+        .map(|r| {
+            (
+                r.t,
+                r.anchors.clone(),
+                r.followers.clone(),
+                r.base_core_size,
+                r.anchored_core_size,
+                r.metrics,
+            )
+        })
+        .collect()
+}
+
+/// Run `solver` sequentially and work-stealing with 1/2/4 workers; every
+/// run must produce the identical shape and identical aggregates.
+fn assert_stealing_equivalence<S: SnapshotSolver>(
+    solver: &S,
+    eg: &EvolvingGraph,
+    params: AvtParams,
+) {
+    let seq = run_sequential(solver, eg, params).unwrap();
+    for threads in [1usize, 2, 4] {
+        let par = run_stealing(solver, eg, params, threads).unwrap();
+        assert_eq!(shape(&seq), shape(&par), "shape diverged at threads = {threads}");
+        assert_eq!(seq.anchor_sets, par.anchor_sets, "threads = {threads}");
+        assert_eq!(seq.follower_counts, par.follower_counts, "threads = {threads}");
+        assert_eq!(seq.total_metrics(), par.total_metrics(), "threads = {threads}");
+    }
+}
+
+/// A deterministic read-only request mix (no `INGEST`, no `STATS`: writes
+/// would make the two services diverge by design, and stats answers
+/// depend on execution order, which is exactly what lanes change).
+fn read_mix(rng: &mut SmallRng, n: usize, k: u32, count: usize) -> Vec<Request> {
+    (0..count)
+        .map(|_| {
+            let vertex = rng.gen_range(0..n) as u32;
+            match rng.gen_range(0..10u32) {
+                0..=2 => Request::Core(vertex),
+                3 => Request::Spectrum,
+                4 => Request::Info,
+                5..=6 => Request::Followers { k, anchor: vertex },
+                7 => Request::Anchored { k, anchors: vec![vertex, rng.gen_range(0..n) as u32] },
+                8 => Request::Best { k, b: 2, algo: BestAlgo::Greedy },
+                _ => Request::Best { k, b: 2, algo: BestAlgo::Olak },
+            }
+        })
+        .collect()
+}
+
+/// Fire `requests` at `service` from `submitters` concurrent threads
+/// (each owns a contiguous chunk) and return the answers in request
+/// order.
+fn answers_of(
+    service: &Service,
+    requests: &[Request],
+    submitters: usize,
+) -> Vec<Result<Response, String>> {
+    let chunk = requests.len().div_ceil(submitters).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk.iter().map(|r| service.query(r.clone())).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("submitter panicked")).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// ER base + churn, Greedy: stealing ≡ sequential.
+    #[test]
+    fn stealing_matches_sequential_greedy_er(
+        n in 12usize..36,
+        m_factor in 1usize..4,
+        seed in 0u64..500,
+        snapshots in 2usize..5,
+    ) {
+        let eg = churned(gnm(n, m_factor * n, seed), snapshots, seed ^ 0x9e37);
+        assert_stealing_equivalence(&Greedy::default(), &eg, AvtParams::new(3, 2));
+    }
+
+    /// BA base + churn, OLAK: stealing ≡ sequential.
+    #[test]
+    fn stealing_matches_sequential_olak_ba(
+        n in 12usize..32,
+        m_per in 2usize..4,
+        seed in 0u64..500,
+        snapshots in 2usize..5,
+    ) {
+        let eg = churned(barabasi_albert(n, m_per, seed), snapshots, seed ^ 0x51f1);
+        assert_stealing_equivalence(&Olak, &eg, AvtParams::new(3, 2));
+    }
+
+    /// ER base + churn, RCM: stealing ≡ sequential.
+    #[test]
+    fn stealing_matches_sequential_rcm_er(
+        n in 16usize..36,
+        seed in 0u64..500,
+        snapshots in 2usize..4,
+    ) {
+        let eg = churned(gnm(n, 3 * n, seed), snapshots, seed ^ 0xabcd);
+        assert_stealing_equivalence(&Rcm::default(), &eg, AvtParams::new(3, 2));
+    }
+
+    /// The lanes executor answers a concurrent read-only mix identically
+    /// to the fifo executor against the same timeline.
+    #[test]
+    fn lanes_executor_matches_fifo_on_read_mix(
+        n in 16usize..48,
+        seed in 0u64..500,
+    ) {
+        let timeline = Arc::new(LiveTimeline::new(gnm(n, 3 * n, seed)));
+        let fifo = Service::start(
+            Arc::clone(&timeline),
+            ServiceConfig { workers: 3, sched: SchedMode::Fifo, ..Default::default() },
+        );
+        let lanes = Service::start(
+            Arc::clone(&timeline),
+            ServiceConfig { workers: 3, sched: SchedMode::Lanes, ..Default::default() },
+        );
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        let requests = read_mix(&mut rng, n, 3, 40);
+        let from_fifo = answers_of(&fifo, &requests, 4);
+        let from_lanes = answers_of(&lanes, &requests, 4);
+        for (i, (f, l)) in from_fifo.iter().zip(&from_lanes).enumerate() {
+            prop_assert_eq!(f, l, "diverged on request {} = {:?}", i, requests[i]);
+        }
+        prop_assert_eq!(fifo.shutdown().worker_panics, 0);
+        prop_assert_eq!(lanes.shutdown().worker_panics, 0);
+    }
+}
+
+/// A saturated one-worker, depth-one service must hand jobs back as
+/// [`SubmitError::Full`] — and accept them again once drained — under
+/// both scheduler modes; a closed service hands them back as
+/// [`SubmitError::Closed`].
+#[test]
+fn full_and_closed_hand_the_job_back_in_both_modes() {
+    // Big enough that one BEST solve outlives a burst of try_submit
+    // calls, so the queue demonstrably fills.
+    let graph = gnm(600, 2400, 7);
+    for sched in [SchedMode::Fifo, SchedMode::Lanes] {
+        let timeline = Arc::new(LiveTimeline::new(graph.clone()));
+        let config = ServiceConfig { workers: 1, queue_depth: 1, sched };
+        let service = Service::start(Arc::clone(&timeline), config);
+        let (tx, rx) = mpsc::channel();
+        let mut accepted = 0usize;
+        let mut fulls = 0usize;
+        for _ in 0..64 {
+            let tx = tx.clone();
+            let request = Request::Best { k: 3, b: 2, algo: BestAlgo::Greedy };
+            match service.try_submit(request, Box::new(move |reply| drop(tx.send(reply)))) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Full(Request::Best { k: 3, b: 2, .. }, _)) => fulls += 1,
+                Err(other) => panic!("{sched:?}: unexpected submit error {other:?}"),
+            }
+        }
+        assert!(fulls > 0, "{sched:?}: 64 instant submits never saw a full queue");
+        assert!(accepted > 0, "{sched:?}: the queue accepted nothing");
+        // Every accepted job still completes (handback lost nothing).
+        for _ in 0..accepted {
+            rx.recv().expect("accepted job answered").expect("query succeeded");
+        }
+        service.begin_shutdown();
+        match service.try_submit(Request::Info, Box::new(|_| {})) {
+            Err(SubmitError::Closed(Request::Info, _)) => {}
+            other => panic!("{sched:?}: closed service returned {:?}", other.map(|_| ())),
+        }
+        assert!(service.query(Request::Info).unwrap_err().contains("shutting down"), "{sched:?}");
+        assert_eq!(service.shutdown().worker_panics, 0, "{sched:?}");
+    }
+}
