@@ -4,7 +4,7 @@
 //! loadgen [--addr 127.0.0.1:7171] [--codec text|binary] [--seed 42]
 //!         [--clients 4] [--requests 200]            # closed loop
 //!         [--offered-qps Q] [--connections 256]     # open loop
-//!         [--quick] [--shutdown]
+//!         [--quick] [--shutdown] [--scrape]
 //! ```
 //!
 //! Two measurement modes:
@@ -43,6 +43,16 @@
 //! `STATS` probe prints the server's writer counters, including
 //! epoch-publish latency percentiles.
 //!
+//! **Telemetry scraping.** `--scrape` polls the server's `METRICS` verb
+//! on a side connection while the run is in flight, then prints the
+//! server-side view after it: the parsed registry (asserting
+//! `avt_requests_total` covers every request this run completed — the
+//! server must be running `--obs on`), a per-op stage-breakdown table
+//! (queue wait vs execute vs encode, p50/p99 µs from the
+//! `avt_stage_us` summaries), and the flight recorder's `TRACE 10` —
+//! the slowest requests with their stage splits. A scrape that fails to
+//! parse, or a registry that missed requests, fails the run.
+//!
 //! `--quick` is the CI smoke setting (2 clients × 40 requests);
 //! `--shutdown` sends the shutdown verb after the run so a scripted
 //! `avt-serve … & loadgen --quick --shutdown; wait` tears the server down
@@ -55,7 +65,8 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use avt_serve::codec::{Codec, TextCodec};
@@ -85,6 +96,10 @@ options:
   --quick           CI smoke: 2 clients x 40 requests (explicit flags
                     override it, in any order)
   --shutdown        send the shutdown verb to the server after the run
+  --scrape          poll METRICS during the run and report the server-side
+                    stage breakdown plus TRACE 10 after it; fails the run
+                    unless avt_requests_total covers every completed
+                    request (server must be running --obs on)
 ";
 
 static TEXT: TextCodec = TextCodec;
@@ -101,6 +116,7 @@ struct Args {
     connections: usize,
     quick: bool,
     mix: IngestMix,
+    scrape: bool,
 }
 
 /// The write-mix knobs, threaded to every request picker.
@@ -122,6 +138,7 @@ fn parse_args() -> Result<Args, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let quick = raw.iter().any(|a| a == "--quick");
     let shutdown = raw.iter().any(|a| a == "--shutdown");
+    let scrape = raw.iter().any(|a| a == "--scrape");
     let mut args = Args {
         addr: "127.0.0.1:7171".into(),
         clients: if quick { 2 } else { 4 },
@@ -133,8 +150,9 @@ fn parse_args() -> Result<Args, String> {
         connections: 256,
         quick,
         mix: IngestMix { frac: 0.0, ooo: 0.0 },
+        scrape,
     };
-    let mut it = raw.iter().filter(|a| *a != "--quick" && *a != "--shutdown");
+    let mut it = raw.iter().filter(|a| *a != "--quick" && *a != "--shutdown" && *a != "--scrape");
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(USAGE.into());
@@ -636,6 +654,33 @@ fn main() -> ExitCode {
         }
     };
 
+    // The scrape sidecar: its own connection polling METRICS while the
+    // run is hot, so the registry is exercised *under* load, not only
+    // after it. Every poll must parse — a torn exposition fails the run.
+    let scraper = args.scrape.then(|| {
+        let addr = args.addr.clone();
+        let codec = args.codec;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || -> Result<u64, String> {
+            let mut client = Client::connect(&addr, Duration::from_secs(10), codec)?;
+            let mut polls = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                match client.call(&Request::Metrics) {
+                    Ok(Response::Metrics { text }) => {
+                        parse_metrics(&text)?;
+                        polls += 1;
+                    }
+                    Ok(other) => return Err(format!("METRICS answered {other:?}")),
+                    Err(e) => return Err(format!("METRICS poll: {e}")),
+                }
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            Ok(polls)
+        });
+        (stop, handle)
+    });
+
     let (ok, errors, latencies, transport_failures);
     if let Some(offered_qps) = args.offered_qps {
         // --- Open loop ---
@@ -733,6 +778,62 @@ fn main() -> ExitCode {
     // table shows which classes carry the tail.
     println!("loadgen: client per-op: ops={}", client_op_table(&latencies));
 
+    // The telemetry view: stop the in-run poller, then take one final
+    // scrape off the probe connection and hold the registry to account —
+    // it must cover every request this run completed.
+    let mut scrape_failed = false;
+    if let Some((stop, handle)) = scraper {
+        stop.store(true, Ordering::Relaxed);
+        match handle.join().expect("scraper thread panicked") {
+            Ok(polls) => eprintln!("# loadgen: scraped METRICS {polls} times during the run"),
+            Err(e) => {
+                scrape_failed = true;
+                eprintln!("loadgen: in-run scrape failed: {e}");
+            }
+        }
+    }
+    if args.scrape {
+        match probe.call(&Request::Metrics) {
+            Ok(Response::Metrics { text }) => match parse_metrics(&text) {
+                Ok(series) => {
+                    let total = series
+                        .iter()
+                        .find(|(name, _)| name == "avt_requests_total")
+                        .map_or(0, |&(_, v)| v);
+                    println!(
+                        "loadgen: server metrics: series={} avt_requests_total={total}",
+                        series.len()
+                    );
+                    println!("loadgen: server stages (p50/p99 us): {}", stage_table(&series));
+                    if total < ok {
+                        scrape_failed = true;
+                        eprintln!(
+                            "loadgen: scrape check failed: avt_requests_total={total} < \
+                             completed={ok} (is the server running --obs on?)"
+                        );
+                    }
+                }
+                Err(e) => {
+                    scrape_failed = true;
+                    eprintln!("loadgen: METRICS parse failed: {e}");
+                }
+            },
+            other => {
+                scrape_failed = true;
+                eprintln!("loadgen: final METRICS failed: {other:?}");
+            }
+        }
+        match probe.call(&Request::Trace { n: 10 }) {
+            Ok(Response::Trace { entries }) => {
+                println!("loadgen: trace top{}: {}", entries.len(), trace_table(&entries));
+            }
+            other => {
+                scrape_failed = true;
+                eprintln!("loadgen: TRACE failed: {other:?}");
+            }
+        }
+    }
+
     // Server-side view after the run (and optional teardown).
     match probe.call(&Request::Stats) {
         Ok(Response::Stats {
@@ -817,15 +918,124 @@ fn main() -> ExitCode {
         }
     }
 
-    if ok > 0 && errors == 0 && transport_failures == 0 && !shutdown_failed {
+    if ok > 0 && errors == 0 && transport_failures == 0 && !shutdown_failed && !scrape_failed {
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "loadgen: FAILED (served={ok}, errors={errors}, failed clients={transport_failures}, \
-             shutdown_failed={shutdown_failed})"
+             shutdown_failed={shutdown_failed}, scrape_failed={scrape_failed})"
         );
         ExitCode::FAILURE
     }
+}
+
+/// Parse a Prometheus text exposition into `(series name, value)` pairs.
+/// Strict on shape — every non-comment line must be `name value` with an
+/// integer value (all the server's metrics are µs or counts) — so a torn
+/// or corrupted METRICS reply fails loudly rather than reading as zero.
+fn parse_metrics(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut series = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) =
+            line.rsplit_once(' ').ok_or_else(|| format!("metrics line without a value: {line}"))?;
+        if name.is_empty() {
+            return Err(format!("metrics line without a name: {line}"));
+        }
+        let value: u64 = value.parse().map_err(|e| format!("metrics value in {line:?}: {e}"))?;
+        series.push((name.to_string(), value));
+    }
+    Ok(series)
+}
+
+/// One label's value out of `a="x",b="y"`, unquoted.
+fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    labels
+        .split(',')
+        .filter_map(|part| part.split_once('='))
+        .find(|&(k, _)| k == key)
+        .map(|(_, v)| v.trim_matches('"'))
+}
+
+/// Per-stage `[p50, p99]` cells keyed by stage name, one row per op.
+type StageRows = Vec<(String, Vec<(String, [Option<u64>; 2])>)>;
+
+/// The queue-wait-vs-service breakdown per op, from the `avt_stage_us`
+/// summaries: one `op[stage=p50/p99,...]` column per class with traffic.
+fn stage_table(series: &[(String, u64)]) -> String {
+    // op -> stage -> [p50, p99], in first-seen (render = stage-name) order.
+    let mut ops: StageRows = Vec::new();
+    for (name, value) in series {
+        let Some(labels) =
+            name.strip_prefix("avt_stage_us{").and_then(|rest| rest.strip_suffix('}'))
+        else {
+            continue;
+        };
+        let (Some(op), Some(stage), Some(q)) = (
+            label_value(labels, "op"),
+            label_value(labels, "stage"),
+            label_value(labels, "quantile"),
+        ) else {
+            continue;
+        };
+        let slot = match q {
+            "0.5" => 0,
+            "0.99" => 1,
+            _ => continue,
+        };
+        let row = match ops.iter_mut().find(|(o, _)| o == op) {
+            Some(row) => row,
+            None => {
+                ops.push((op.to_string(), Vec::new()));
+                ops.last_mut().expect("just pushed")
+            }
+        };
+        let cell = match row.1.iter_mut().find(|(s, _)| s == stage) {
+            Some(cell) => cell,
+            None => {
+                row.1.push((stage.to_string(), [None, None]));
+                row.1.last_mut().expect("just pushed")
+            }
+        };
+        cell.1[slot] = Some(*value);
+    }
+    if ops.is_empty() {
+        return "-".into();
+    }
+    let fmt = |v: Option<u64>| v.map_or("-".into(), |v: u64| v.to_string());
+    ops.iter()
+        .map(|(op, stages)| {
+            let cols = stages
+                .iter()
+                .map(|(stage, [p50, p99])| format!("{stage}={}/{}", fmt(*p50), fmt(*p99)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{op}[{cols}]")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The flight-recorder report: `op:total_us[stage=us+...]` per entry.
+fn trace_table(entries: &[avt_serve::TraceEntry]) -> String {
+    if entries.is_empty() {
+        return "-".into();
+    }
+    entries
+        .iter()
+        .map(|e| {
+            let stages = e
+                .stages
+                .iter()
+                .map(|(stage, us)| format!("{stage}={us}"))
+                .collect::<Vec<_>>()
+                .join("+");
+            format!("{}:{}us[{stages}]", e.op, e.total_us)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// The client-side per-verb latency table: one `verb:count:p50:p95:p99`

@@ -91,6 +91,9 @@ pub struct BatchStats {
     pub shard_us: Vec<u64>,
     /// Levels re-peeled by the sequential bottom-up repair pass.
     pub levels_repaired: u32,
+    /// Wall-clock micros the sequential bottom-up repair pass took
+    /// (0 when the per-edge reference path ran).
+    pub repair_us: u64,
 }
 
 /// Epoch-stamped scratch space so maintenance never allocates per edge.
@@ -438,7 +441,10 @@ impl MaintainedCore {
 
             // Phase 3: sequential bottom-up repair. `carry` holds detached
             // survivors being spliced upward; a level is peeled when it is
-            // dirty or when a carry reaches it.
+            // dirty or when a carry reaches it. Timed as one block: the
+            // repair is the serial tail of the sharded apply, so its cost
+            // against the parallel screen is what the telemetry wants.
+            let repair_start = std::time::Instant::now();
             let mut carry: Vec<VertexId> = Vec::new();
             let mut k = 0u32;
             loop {
@@ -469,6 +475,7 @@ impl MaintainedCore {
                 carry = survivors;
                 k += 1;
             }
+            stats.repair_us = repair_start.elapsed().as_micros() as u64;
         }
 
         for e in &batch.deletions {

@@ -1,0 +1,175 @@
+//! The flight recorder: a bounded, overwrite-oldest ring of completed
+//! span records.
+//!
+//! Two populations, so a dump is informative rather than merely big:
+//! every *slow* request (total latency at or above
+//! [`crate::slow_threshold_us`], as judged by the caller) lands in an
+//! overwrite-oldest ring, and a small reservoir sample of *normal*
+//! requests rides along for contrast. Recording takes one short mutex —
+//! the recorder is written once per completed request, not per stage, so
+//! the lock is not on any per-stage path.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+use crate::span::SpanRecord;
+
+/// Slow entries retained (overwrite-oldest beyond this).
+const SLOW_CAP: usize = 256;
+
+/// Reservoir-sampled normal entries retained.
+const NORMAL_CAP: usize = 64;
+
+struct FlightInner {
+    slow: VecDeque<SpanRecord>,
+    normal: Vec<SpanRecord>,
+    /// Normal records ever offered (the reservoir denominator).
+    normal_seen: u64,
+    /// xorshift64* state for reservoir replacement — in-crate so the
+    /// telemetry layer stays dependency-free.
+    rng: u64,
+}
+
+/// The bounded completed-span store behind the `TRACE` verb.
+pub struct FlightRecorder {
+    slow_cap: usize,
+    normal_cap: usize,
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `slow_cap` slow records and
+    /// `normal_cap` reservoir-sampled normal ones.
+    pub fn with_capacity(slow_cap: usize, normal_cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            slow_cap: slow_cap.max(1),
+            normal_cap,
+            inner: Mutex::new(FlightInner {
+                slow: VecDeque::new(),
+                normal: Vec::new(),
+                normal_seen: 0,
+                rng: 0x9e37_79b9_7f4a_7c15,
+            }),
+        }
+    }
+
+    /// The process-wide recorder the serving stack writes into.
+    pub fn global() -> &'static FlightRecorder {
+        static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+        GLOBAL.get_or_init(|| FlightRecorder::with_capacity(SLOW_CAP, NORMAL_CAP))
+    }
+
+    /// Store one completed span. `slow` is the caller's verdict (total
+    /// latency vs the threshold): slow records are kept overwrite-oldest,
+    /// normal ones reservoir-sampled.
+    pub fn record(&self, record: SpanRecord, slow: bool) {
+        let mut inner = self.lock();
+        if slow {
+            if inner.slow.len() == self.slow_cap {
+                inner.slow.pop_front();
+            }
+            inner.slow.push_back(record);
+            return;
+        }
+        inner.normal_seen += 1;
+        if inner.normal.len() < self.normal_cap {
+            inner.normal.push(record);
+            return;
+        }
+        if self.normal_cap == 0 {
+            return;
+        }
+        // Classic reservoir sampling: replace a random slot with
+        // probability cap / seen.
+        let x = {
+            let mut x = inner.rng;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            inner.rng = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let j = (x % inner.normal_seen) as usize;
+        if j < self.normal_cap {
+            inner.normal[j] = record;
+        }
+    }
+
+    /// The top `n` retained records by total latency, slowest first
+    /// (slow ring and normal reservoir merged).
+    pub fn top(&self, n: usize) -> Vec<SpanRecord> {
+        let inner = self.lock();
+        let mut all: Vec<SpanRecord> =
+            inner.slow.iter().chain(inner.normal.iter()).cloned().collect();
+        drop(inner);
+        all.sort_by_key(|record| std::cmp::Reverse(record.total_ns));
+        all.truncate(n);
+        all
+    }
+
+    /// (slow, normal) records currently retained.
+    pub fn len(&self) -> (usize, usize) {
+        let inner = self.lock();
+        (inner.slow.len(), inner.normal.len())
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightInner> {
+        self.inner.lock().expect("flight recorder lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::STAGE_COUNT;
+
+    fn rec(label: &'static str, total_us: u64) -> SpanRecord {
+        SpanRecord { label, total_ns: total_us * 1_000, stage_ns: [0; STAGE_COUNT] }
+    }
+
+    #[test]
+    fn slow_ring_overwrites_oldest() {
+        let fr = FlightRecorder::with_capacity(3, 0);
+        for i in 0..5u64 {
+            fr.record(rec("best", 100 + i), true);
+        }
+        let top = fr.top(10);
+        assert_eq!(top.len(), 3, "capped at 3");
+        // The oldest two (100, 101) were evicted.
+        assert_eq!(top[0].total_us(), 104);
+        assert_eq!(top[2].total_us(), 102);
+    }
+
+    #[test]
+    fn reservoir_keeps_a_bounded_normal_sample() {
+        let fr = FlightRecorder::with_capacity(4, 8);
+        for i in 0..1_000u64 {
+            fr.record(rec("core", i % 50), false);
+        }
+        let (slow, normal) = fr.len();
+        assert_eq!(slow, 0);
+        assert_eq!(normal, 8, "reservoir holds exactly its cap");
+        fr.record(rec("best", 9_999), true);
+        let top = fr.top(1);
+        assert_eq!(top[0].label, "best", "slow entries dominate the top");
+    }
+
+    #[test]
+    fn top_merges_and_sorts_desc() {
+        let fr = FlightRecorder::with_capacity(8, 8);
+        fr.record(rec("a", 10), false);
+        fr.record(rec("b", 30), true);
+        fr.record(rec("c", 20), true);
+        let top = fr.top(2);
+        assert_eq!(
+            top.iter().map(|r| (r.label, r.total_us())).collect::<Vec<_>>(),
+            vec![("b", 30), ("c", 20)]
+        );
+        assert!(!fr.is_empty());
+    }
+}

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use avt_graph::{EdgeBatch, GraphError, VertexId};
+use avt_obs::{Span, Stage};
 
 use crate::protocol::{ShardLatency, WriterStats};
 use crate::stats::LatencyRing;
@@ -168,6 +169,19 @@ impl Admission {
     /// timeline is live (the quiesced-writer guard) — nothing is staged
     /// in that case, so the client can retry the whole call.
     pub fn ingest(&self, ts: u64, events: &[IngestEvent]) -> Result<IngestReceipt, GraphError> {
+        self.ingest_traced(ts, events, None)
+    }
+
+    /// [`Admission::ingest`] with a request-lifecycle span riding along:
+    /// the staging decision is charged to the *admit* stage and the
+    /// drain (epoch publication) to the *publish* stage, so a `TRACE`
+    /// dump shows where a slow `INGEST` actually spent its time.
+    pub fn ingest_traced(
+        &self,
+        ts: u64,
+        events: &[IngestEvent],
+        span: Option<&Span>,
+    ) -> Result<IngestReceipt, GraphError> {
         if self.timeline.replaying() {
             return Err(GraphError::WriterBusy);
         }
@@ -190,8 +204,14 @@ impl Admission {
         self.accepted.fetch_add(receipt.accepted, Ordering::Relaxed);
         self.folded.fetch_add(receipt.folded, Ordering::Relaxed);
         self.rejected.fetch_add(receipt.rejected, Ordering::Relaxed);
+        if let Some(span) = span {
+            span.mark(Stage::Admit);
+        }
 
         self.drain(&mut inner, false)?;
+        if let Some(span) = span {
+            span.mark(Stage::Publish);
+        }
         receipt.watermark = inner.watermark;
         receipt.t = self.timeline.epochs_published();
         Ok(receipt)
@@ -223,7 +243,14 @@ impl Admission {
             let (batch, dropped) = self.sanitize(events);
             let start = Instant::now();
             let report = self.timeline.apply_batch(batch)?;
-            self.publish.record(start.elapsed().as_micros() as u64);
+            let publish_us = start.elapsed().as_micros() as u64;
+            self.publish.record(publish_us);
+            crate::obs::record_publish_us(publish_us);
+            // The repair phase only exists on the sharded write path; a
+            // serial batch would just log a stream of zeros.
+            if !report.batch_stats.shard_us.is_empty() {
+                crate::obs::record_repair_us(report.batch_stats.repair_us);
+            }
             inner.staged.remove(&ts);
             inner.applied += 1;
             inner.dropped += dropped;
@@ -236,6 +263,7 @@ impl Admission {
                 }
                 inner.shards[i].count += 1;
                 inner.shards[i].ring.record(us);
+                crate::obs::record_shard_us(i, us);
             }
             published += 1;
         }

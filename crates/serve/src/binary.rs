@@ -27,7 +27,7 @@
 //!
 //! # Opcodes
 //!
-//! Request opcodes `0x01..=0x08` are `OpClass::index() + 1`; connection
+//! Request opcodes `0x01..=0x0A` are `OpClass::index() + 1`; connection
 //! verbs sit at `0x10`/`0x11`. A success response echoes the request
 //! opcode with the high bit set (`op | 0x80`); an error response is
 //! `0xFF` regardless of what was asked.
@@ -42,6 +42,8 @@
 //! | `0x06` | `BEST` | u32 `k`, u32 `b`, u8 algo (0 greedy, 1 olak) |
 //! | `0x07` | `STATS` | — |
 //! | `0x08` | `INGEST` | u64 `ts`, u32 `icount`, `icount` × (u32 `u`, u32 `v`), u32 `dcount`, `dcount` × (u32 `u`, u32 `v`) |
+//! | `0x09` | `METRICS` | — |
+//! | `0x0A` | `TRACE` | u32 `n` |
 //! | `0x10` | `QUIT` | — |
 //! | `0x11` | `SHUTDOWN` | — |
 //! | `0x81` | info reply | u64 `t`, u64 `n`, u64 `m`, u64 `epochs` |
@@ -52,6 +54,8 @@
 //! | `0x86` | best reply | u64 `t`, u32 `k`, u8 algo, u64 `visited`, u64 `probed`, u32 `alen`, u32 `flen`, anchors, followers |
 //! | `0x87` | stats reply | u64 `epochs`, u64 `served`, u64 `errors`, u64 `p50`, u64 `p99`, u8 `ops`, `ops` × (u8 op, u64 count, u64 p50, u64 p99), [writer block] |
 //! | `0x88` | ingest reply | u64 `t`, u64 `accepted`, u64 `folded`, u64 `rejected`, u64 `watermark` |
+//! | `0x89` | metrics reply | u32 `len`, `len` bytes of UTF-8 exposition text |
+//! | `0x8A` | trace reply | u32 `count`, `count` × (u16 `oplen`, op bytes, u64 `total_us`, u8 `nstages`, `nstages` × (u16 `slen`, stage bytes, u64 `us`)) |
 //! | `0x91` | bye (shutdown ack) | — |
 //! | `0xFF` | error reply | UTF-8 message |
 //!
@@ -72,7 +76,7 @@
 use crate::codec::{Codec, WireRequest, WireVerb};
 use crate::protocol::{
     BestAlgo, LaneStats, OpClass, OpLatency, Request, Response, SchedStats, ShardLatency,
-    WriterStats, MAX_ANCHORS, MAX_INGEST_EVENTS,
+    TraceEntry, WriterStats, MAX_ANCHORS, MAX_INGEST_EVENTS, MAX_TRACE,
 };
 use avt_graph::VertexId;
 
@@ -132,6 +136,14 @@ fn put_opt_us(out: &mut Vec<u8>, v: Option<u64>) {
     put_u64(out, v.unwrap_or(US_ABSENT));
 }
 
+/// Append a short string as u16 length + UTF-8 bytes (trace op/stage
+/// names — never near the 64 KiB ceiling in practice).
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let bytes = &s.as_bytes()[..s.len().min(u16::MAX as usize)];
+    put_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
 /// A bounds-checked little-endian reader over one payload.
 struct Cursor<'a> {
     bytes: &'a [u8],
@@ -175,6 +187,13 @@ impl<'a> Cursor<'a> {
         Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
     }
 
+    fn str16(&mut self) -> Result<String, String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")) as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_string)
+            .map_err(|_| "non-UTF-8 string in payload".to_string())
+    }
+
     fn remaining(&self) -> usize {
         self.bytes.len() - self.at
     }
@@ -211,7 +230,8 @@ impl BinaryCodec {
 fn request_payload(request: &Request) -> Vec<u8> {
     let mut p = Vec::new();
     match request {
-        Request::Info | Request::Spectrum | Request::Stats => {}
+        Request::Info | Request::Spectrum | Request::Stats | Request::Metrics => {}
+        Request::Trace { n } => put_u32(&mut p, *n),
         Request::Core(v) => put_u32(&mut p, *v),
         Request::Anchored { k, anchors } => {
             put_u32(&mut p, *k);
@@ -371,6 +391,25 @@ fn response_payload(response: &Response) -> (u8, Vec<u8>) {
             put_u64(&mut p, *watermark);
             op_of(OpClass::Ingest) | OP_OK_BIT
         }
+        Response::Metrics { text } => {
+            let bytes = &text.as_bytes()[..text.len().min(MAX_PAYLOAD - 4)];
+            put_u32(&mut p, bytes.len() as u32);
+            p.extend_from_slice(bytes);
+            op_of(OpClass::Metrics) | OP_OK_BIT
+        }
+        Response::Trace { entries } => {
+            put_u32(&mut p, entries.len() as u32);
+            for e in entries {
+                put_str16(&mut p, &e.op);
+                put_u64(&mut p, e.total_us);
+                p.push(e.stages.len().min(u8::MAX as usize) as u8);
+                for (stage, us) in e.stages.iter().take(u8::MAX as usize) {
+                    put_str16(&mut p, stage);
+                    put_u64(&mut p, *us);
+                }
+            }
+            op_of(OpClass::Trace) | OP_OK_BIT
+        }
         Response::Bye => OP_BYE,
     };
     (opcode, p)
@@ -433,6 +472,14 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, String>
                 return Err(format!("at most {MAX_INGEST_EVENTS} events per request"));
             }
             Request::Ingest { ts, insertions, deletions }
+        }
+        OpClass::Metrics => Request::Metrics,
+        OpClass::Trace => {
+            let n = c.u32()?;
+            if n as usize > MAX_TRACE {
+                return Err(format!("at most {MAX_TRACE} trace entries per request"));
+            }
+            Request::Trace { n }
         }
     };
     c.finish()?;
@@ -577,6 +624,32 @@ fn decode_response_payload(opcode: u8, payload: &[u8]) -> Result<Response, Strin
             rejected: c.u64()?,
             watermark: c.u64()?,
         },
+        OpClass::Metrics => {
+            let len = c.u32()? as usize;
+            let text = std::str::from_utf8(c.take(len)?)
+                .map_err(|_| "non-UTF-8 metrics text".to_string())?
+                .to_string();
+            Response::Metrics { text }
+        }
+        OpClass::Trace => {
+            let count = c.u32()? as usize;
+            if count > MAX_TRACE {
+                return Err(format!("at most {MAX_TRACE} trace entries per reply"));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let op = c.str16()?;
+                let total_us = c.u64()?;
+                let nstages = c.u8()? as usize;
+                let mut stages = Vec::with_capacity(nstages);
+                for _ in 0..nstages {
+                    let stage = c.str16()?;
+                    stages.push((stage, c.u64()?));
+                }
+                entries.push(TraceEntry { op, total_us, stages });
+            }
+            Response::Trace { entries }
+        }
     };
     c.finish()?;
     Ok(response)
@@ -688,6 +761,8 @@ mod tests {
             Request::Stats,
             Request::Ingest { ts: 42, insertions: vec![(0, 1), (2, 3)], deletions: vec![(4, 5)] },
             Request::Ingest { ts: 0, insertions: vec![], deletions: vec![] },
+            Request::Metrics,
+            Request::Trace { n: 10 },
         ]
     }
 
@@ -767,6 +842,21 @@ mod tests {
                 }),
             },
             Response::Ingest { t: 5, accepted: 3, folded: 1, rejected: 0, watermark: 9 },
+            Response::Metrics {
+                text: "# TYPE avt_requests_total counter\navt_requests_total 42\n".into(),
+            },
+            Response::Metrics { text: String::new() },
+            Response::Trace {
+                entries: vec![
+                    TraceEntry {
+                        op: "best".into(),
+                        total_us: 1_234,
+                        stages: vec![("queue".into(), 200), ("execute".into(), 1_000)],
+                    },
+                    TraceEntry { op: "core".into(), total_us: 7, stages: vec![] },
+                ],
+            },
+            Response::Trace { entries: vec![] },
             Response::Bye,
         ]
     }

@@ -34,7 +34,7 @@
 
 use crate::protocol::{
     BestAlgo, LaneStats, OpClass, OpLatency, Request, Response, SchedStats, ShardLatency,
-    WriterStats, MAX_ANCHORS, MAX_INGEST_EVENTS,
+    TraceEntry, WriterStats, MAX_ANCHORS, MAX_INGEST_EVENTS, MAX_TRACE,
 };
 use avt_graph::VertexId;
 
@@ -266,6 +266,8 @@ pub(crate) fn text_request_line(request: &Request) -> String {
         Request::Ingest { ts, insertions, deletions } => {
             format!("INGEST {ts} {} {}", join_pairs(insertions), join_pairs(deletions))
         }
+        Request::Metrics => "METRICS".into(),
+        Request::Trace { n } => format!("TRACE {n}"),
     }
 }
 
@@ -339,6 +341,18 @@ pub(crate) fn parse_text_request_line(line: &str) -> Result<Request, String> {
                 return Err(format!("at most {MAX_INGEST_EVENTS} events per request"));
             }
             Request::Ingest { ts, insertions, deletions }
+        }
+        "METRICS" => {
+            want(0)?;
+            Request::Metrics
+        }
+        "TRACE" => {
+            want(1)?;
+            let n: u32 = parse_num("n", args[0])?;
+            if n as usize > MAX_TRACE {
+                return Err(format!("at most {MAX_TRACE} trace entries per request"));
+            }
+            Request::Trace { n }
         }
         other => return Err(format!("unknown request {other:?}")),
     };
@@ -459,6 +473,95 @@ fn parse_shards(value: &str) -> Result<Vec<ShardLatency>, String> {
         .collect()
 }
 
+/// Escape a free-form string for a `key=value` text field: `%`, spaces,
+/// tabs, carriage returns and newlines become `%XX`, so the value is one
+/// whitespace-free token and the line-delimited framing survives a
+/// multi-line payload (the `METRICS` exposition is full of newlines).
+fn esc_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '\t' => out.push_str("%09"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`esc_text`]. Only ASCII code points are ever escaped, so the
+/// byte-to-char cast is exact.
+fn unesc_text(field: &str, s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = it.next().and_then(|c| c.to_digit(16));
+        let lo = it.next().and_then(|c| c.to_digit(16));
+        match (hi, lo) {
+            (Some(h), Some(l)) if h < 8 => out.push((h * 16 + l) as u8 as char),
+            _ => return Err(format!("bad {field} escape in reply")),
+        }
+    }
+    Ok(out)
+}
+
+/// Render the `entries=` field value: `op:total:stage~us:stage~us...`
+/// entries joined by commas (`-` when empty). Op and stage names are
+/// escaped, so the separators are unambiguous.
+fn join_trace(entries: &[TraceEntry]) -> String {
+    if entries.is_empty() {
+        return "-".into();
+    }
+    entries
+        .iter()
+        .map(|e| {
+            let mut s = format!("{}:{}", esc_text(&e.op), e.total_us);
+            for (stage, us) in &e.stages {
+                s.push_str(&format!(":{}~{us}", esc_text(stage)));
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_trace(value: &str) -> Result<Vec<TraceEntry>, String> {
+    if value == "-" {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|entry| {
+            let mut parts = entry.split(':');
+            let op = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("malformed trace entry {entry:?}"))?;
+            let total = parts.next().ok_or_else(|| format!("malformed trace entry {entry:?}"))?;
+            let stages = parts
+                .map(|pair| {
+                    let (stage, us) = pair
+                        .split_once('~')
+                        .ok_or_else(|| format!("malformed trace stage {pair:?}"))?;
+                    Ok((unesc_text("trace stage", stage)?, parse_num("trace stage us", us)?))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(TraceEntry {
+                op: unesc_text("trace op", op)?,
+                total_us: parse_num("trace total", total)?,
+                stages,
+            })
+        })
+        .collect()
+}
+
 fn parse_ops(value: &str) -> Result<Vec<OpLatency>, String> {
     value
         .split(',')
@@ -536,6 +639,8 @@ pub(crate) fn text_ok_line(response: &Response) -> String {
                  watermark={watermark}"
             )
         }
+        Response::Metrics { text } => format!("OK metrics text={}", esc_text(text)),
+        Response::Trace { entries } => format!("OK trace entries={}", join_trace(entries)),
         Response::Bye => "OK bye".into(),
     }
 }
@@ -645,6 +750,11 @@ pub(crate) fn parse_text_response_line(line: &str) -> Result<Response, String> {
             rejected: parse_num("rejected", &get("rejected")?)?,
             watermark: parse_num("watermark", &get("watermark")?)?,
         },
+        "metrics" => Response::Metrics {
+            // `text=` with an empty value is a valid (empty) exposition.
+            text: unesc_text("metrics text", fields.get("text").map_or("", String::as_str))?,
+        },
+        "trace" => Response::Trace { entries: parse_trace(&get("entries")?)? },
         "bye" => Response::Bye,
         other => return Err(format!("unknown reply kind {other:?}")),
     };
@@ -675,6 +785,8 @@ mod tests {
             Request::Stats,
             Request::Ingest { ts: 42, insertions: vec![(0, 1), (2, 3)], deletions: vec![(4, 5)] },
             Request::Ingest { ts: 0, insertions: vec![], deletions: vec![] },
+            Request::Metrics,
+            Request::Trace { n: 10 },
         ];
         for req in cases {
             let mut wire = Vec::new();
@@ -718,6 +830,9 @@ mod tests {
         assert!(reject("INGEST 5 1,2,3 -").contains("pair up"));
         assert!(reject("INGEST 5 1,x -").contains("insertions element"));
         assert!(reject("INGEST 5 -").contains("3 argument"));
+        assert!(reject("TRACE").contains("1 argument"));
+        assert!(reject("TRACE 99999").contains("at most"));
+        assert!(reject("METRICS now").contains("0 argument"));
         assert!(reject("\u{1F980} crab").contains("unknown request"));
     }
 
@@ -813,6 +928,21 @@ mod tests {
                 sched: None,
             },
             Response::Ingest { t: 5, accepted: 3, folded: 1, rejected: 0, watermark: 9 },
+            Response::Metrics {
+                text: "# TYPE avt_requests_total counter\navt_requests_total 42\n".into(),
+            },
+            Response::Metrics { text: String::new() },
+            Response::Trace {
+                entries: vec![
+                    TraceEntry {
+                        op: "best".into(),
+                        total_us: 1_234,
+                        stages: vec![("queue".into(), 200), ("execute".into(), 1_000)],
+                    },
+                    TraceEntry { op: "core".into(), total_us: 7, stages: vec![] },
+                ],
+            },
+            Response::Trace { entries: vec![] },
             Response::Bye,
         ];
         for response in cases {

@@ -37,9 +37,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use avt_obs::{Span, Stage};
+
 use crate::binary::{looks_binary, BinaryCodec};
 use crate::codec::{Codec, TextCodec, WireVerb};
-use crate::protocol::{Request, Response};
+use crate::protocol::{OpClass, Request, Response};
 
 /// Most submitted-but-unanswered requests one connection may hold.
 pub const MAX_IN_FLIGHT: usize = 128;
@@ -83,6 +85,10 @@ pub struct Conn {
     next_seq: u64,
     /// Wire id to echo per live sequence number.
     wire_ids: HashMap<u64, u64>,
+    /// Lifecycle spans per live sequence number (telemetry on only).
+    /// The conn's clone charges decode/encode; the front hands another
+    /// clone to the pool so workers can charge queue/execute time.
+    spans: HashMap<u64, (OpClass, Span)>,
     /// Ordered codecs: next sequence number allowed to write, and
     /// finished-early replies (already encoded) waiting their turn.
     next_write_seq: u64,
@@ -109,6 +115,7 @@ impl Conn {
             in_flight: 0,
             next_seq: 0,
             wire_ids: HashMap::new(),
+            spans: HashMap::new(),
             next_write_seq: 0,
             staged: BTreeMap::new(),
             draining: false,
@@ -150,6 +157,7 @@ impl Conn {
             if pending.is_empty() {
                 break;
             }
+            let decode_start = std::time::Instant::now();
             let codec = *self.codec.get_or_insert_with(|| {
                 if looks_binary(pending[0]) {
                     &BINARY
@@ -189,6 +197,11 @@ impl Conn {
                 WireVerb::Query(request) => {
                     let seq = self.alloc_seq(wire.id);
                     self.in_flight += 1;
+                    let op = request.op_class();
+                    if let Some(span) = crate::obs::span_for(op, decode_start) {
+                        span.mark(Stage::Decode);
+                        self.spans.insert(seq, (op, span));
+                    }
                     out.queries.push((seq, request));
                 }
             }
@@ -218,7 +231,19 @@ impl Conn {
         debug_assert!(self.in_flight > 0, "completion without a submission");
         self.in_flight = self.in_flight.saturating_sub(1);
         self.finish(seq, reply);
+        if let Some((op, span)) = self.spans.remove(&seq) {
+            span.mark(Stage::Encode);
+            crate::obs::finish_span(op, span);
+        }
         self.pump()
+    }
+
+    /// A clone of the lifecycle span for a still-in-flight query, for the
+    /// front to attach to its pool submission ([`None`] while telemetry
+    /// is off). The conn keeps its own clone to charge encode time when
+    /// the completion comes back.
+    pub fn span(&self, seq: u64) -> Option<Span> {
+        self.spans.get(&seq).map(|(_, span)| span.clone())
     }
 
     /// Encoded reply bytes waiting for the transport.

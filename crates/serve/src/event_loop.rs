@@ -287,8 +287,10 @@ mod imp {
         wake_tx: Arc<WakeTx>,
         wake_rx: i32,
         /// Jobs the pool refused (queue full), retried as completions
-        /// free slots. The callbacks inside remember their token + seq.
-        parked: VecDeque<(Request, QueryCallback)>,
+        /// free slots. The callbacks inside remember their token + seq;
+        /// the span clone rides along so queue time spent parked here is
+        /// still charged when the job finally lands.
+        parked: VecDeque<(Request, Option<avt_obs::Span>, QueryCallback)>,
         shutting_down: bool,
     }
 
@@ -537,9 +539,12 @@ mod imp {
                 });
                 wake.wake();
             });
-            match self.service.try_submit(request, done) {
+            let span = self.conns.get(&token).and_then(|slot| slot.conn.span(seq));
+            match self.service.try_submit_traced(request, span.clone(), done) {
                 Ok(()) => {}
-                Err(SubmitError::Full(request, done)) => self.parked.push_back((request, done)),
+                Err(SubmitError::Full(request, done)) => {
+                    self.parked.push_back((request, span, done))
+                }
                 // Service is gone: answer through the normal completion
                 // path so the connection still gets a reply frame.
                 Err(SubmitError::Closed(_, done)) => done(Err("service is shutting down".into())),
@@ -547,11 +552,11 @@ mod imp {
         }
 
         fn retry_parked(&mut self) {
-            while let Some((request, done)) = self.parked.pop_front() {
-                match self.service.try_submit(request, done) {
+            while let Some((request, span, done)) = self.parked.pop_front() {
+                match self.service.try_submit_traced(request, span.clone(), done) {
                     Ok(()) => {}
                     Err(SubmitError::Full(request, done)) => {
-                        self.parked.push_front((request, done));
+                        self.parked.push_front((request, span, done));
                         return; // still saturated; keep FIFO order
                     }
                     Err(SubmitError::Closed(_, done)) => {

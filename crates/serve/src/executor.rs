@@ -22,6 +22,8 @@ use std::time::Instant;
 
 use avt_core::{AnchoredCoreState, AvtParams, Greedy, Olak, SnapshotSolver};
 
+use avt_obs::{Span, Stage};
+
 use crate::admission::{Admission, IngestEvent};
 use crate::protocol::{BestAlgo, OpClass, Request, Response};
 use crate::sched::{sched_mode, CostModel, LanePool, PushError, SchedMode};
@@ -144,6 +146,11 @@ pub fn execute(
         // [`Service::start_with_admission`] service has — `execute` itself
         // is pure with respect to the timeline and must stay so.
         Request::Ingest { .. } => Err("ingest not enabled on this service".into()),
+        // The telemetry verbs read process-wide observability state (the
+        // registry and the flight recorder), not the epoch — they answer
+        // in every mode; with `AVT_OBS=off` the registry is simply empty.
+        Request::Metrics => Ok(Response::Metrics { text: crate::obs::render() }),
+        Request::Trace { n } => Ok(Response::Trace { entries: crate::obs::trace(*n as usize) }),
     }
 }
 
@@ -155,6 +162,7 @@ fn run_job(
     timeline: &Arc<LiveTimeline>,
     admission: Option<&Admission>,
     stats: &ServiceStats,
+    span: Option<&Span>,
 ) -> Result<Response, String> {
     if let Request::Ingest { ts, insertions, deletions } = request {
         let Some(adm) = admission else {
@@ -164,7 +172,7 @@ fn run_job(
         events.extend(insertions.iter().map(|&(u, v)| IngestEvent { insert: true, u, v }));
         events.extend(deletions.iter().map(|&(u, v)| IngestEvent { insert: false, u, v }));
         return adm
-            .ingest(*ts, &events)
+            .ingest_traced(*ts, &events, span)
             .map(|r| Response::Ingest {
                 t: r.t,
                 accepted: r.accepted,
@@ -245,6 +253,11 @@ impl Reply {
 struct Job {
     request: Request,
     reply: Reply,
+    /// The request's lifecycle span, when telemetry is on and the front
+    /// end opened one at decode ([`Service::try_submit_traced`]). The
+    /// worker charges queue wait and execute time to it; the front end
+    /// closes it after encoding the reply.
+    span: Option<Span>,
 }
 
 /// A job priced by the [`CostModel`] on its way into the lane pool: the
@@ -362,10 +375,25 @@ impl Service {
                                 let job = rx.lock().expect("job queue lock poisoned").recv();
                                 let Ok(job) = job else { break };
                                 let op = job.request.op_class();
+                                // Everything since the last mark (decode)
+                                // was time spent queued, not served.
+                                if let Some(span) = &job.span {
+                                    span.mark(Stage::Queue);
+                                }
                                 let start = Instant::now();
-                                let reply =
-                                    run_job(&job.request, &timeline, admission.as_deref(), &stats);
-                                stats.record(op, reply.is_ok(), start.elapsed().as_micros() as u64);
+                                let reply = run_job(
+                                    &job.request,
+                                    &timeline,
+                                    admission.as_deref(),
+                                    &stats,
+                                    job.span.as_ref(),
+                                );
+                                let micros = start.elapsed().as_micros() as u64;
+                                if let Some(span) = &job.span {
+                                    span.mark(Stage::Execute);
+                                }
+                                stats.record(op, reply.is_ok(), micros);
+                                crate::obs::note_request(op, reply.is_ok(), micros);
                                 job.reply.deliver(reply);
                             })
                             .expect("spawning a worker thread")
@@ -395,14 +423,26 @@ impl Service {
                             .spawn(move || {
                                 while let Some(popped) = state.pool.pop(i) {
                                     let LaneJob { job, op, units, est_us } = popped.item;
+                                    if let Some(span) = &job.span {
+                                        span.mark(Stage::Queue);
+                                    }
                                     let start = Instant::now();
                                     let mut reply = run_job(
                                         &job.request,
                                         &timeline,
                                         admission.as_deref(),
                                         &stats,
+                                        job.span.as_ref(),
                                     );
+                                    // `micros` is pure service time — the
+                                    // queue wait was charged to the span
+                                    // above, so the cost model learns how
+                                    // long work *runs*, not how long it
+                                    // sat behind other work.
                                     let micros = start.elapsed().as_micros() as u64;
+                                    if let Some(span) = &job.span {
+                                        span.mark(Stage::Execute);
+                                    }
                                     // Every finished job refines the model;
                                     // the next estimate is already better.
                                     state.model.observe(op, units, est_us, micros);
@@ -412,6 +452,7 @@ impl Service {
                                             Some(crate::sched::snapshot(&state.pool, &state.model));
                                     }
                                     stats.record(op, reply.is_ok(), micros);
+                                    crate::obs::note_request(op, reply.is_ok(), micros);
                                     job.reply.deliver(reply);
                                 }
                             })
@@ -448,6 +489,13 @@ impl Service {
     /// queue has room, when the pool is saturated — bounded backpressure
     /// by construction).
     pub fn query(&self, request: Request) -> Result<Response, String> {
+        self.query_traced(request, None)
+    }
+
+    /// [`Service::query`] with a lifecycle span riding along (the
+    /// blocking fronts' traced path; in-process callers just use
+    /// [`Service::query`], which passes `None`).
+    pub fn query_traced(&self, request: Request, span: Option<Span>) -> Result<Response, String> {
         let (tx, rx) = mpsc::sync_channel(1);
         match &self.backend {
             Backend::Fifo(intake) => {
@@ -457,14 +505,18 @@ impl Service {
                 let Some(jobs) = intake.lock().expect("intake lock poisoned").clone() else {
                     return Err("service is shutting down".to_string());
                 };
-                jobs.send(Job { request, reply: Reply::Channel(tx) })
+                jobs.send(Job { request, reply: Reply::Channel(tx), span })
                     .map_err(|_| "service is shutting down".to_string())?;
             }
             Backend::Lanes(state) => {
                 let (op, units, est_us) = self.price(state, &request);
                 let lane = state.model.lane(op, units);
-                let item =
-                    LaneJob { job: Job { request, reply: Reply::Channel(tx) }, op, units, est_us };
+                let item = LaneJob {
+                    job: Job { request, reply: Reply::Channel(tx), span },
+                    op,
+                    units,
+                    est_us,
+                };
                 state.pool.push(lane, item).map_err(|_| "service is shutting down".to_string())?;
             }
         }
@@ -478,27 +530,45 @@ impl Service {
     /// caller to park and retry. Identical contract under both
     /// schedulers; lanes just pick a deque instead of the one channel.
     pub fn try_submit(&self, request: Request, done: QueryCallback) -> Result<(), SubmitError> {
+        self.try_submit_traced(request, None, done)
+    }
+
+    /// [`Service::try_submit`] with a lifecycle span riding along: the
+    /// worker charges queue wait and execute time to it, and it is
+    /// returned to the callback's owner by way of the front end's span
+    /// table (the span is `Arc`-backed; the caller keeps its own clone).
+    /// On `Full`/`Closed` the job's span clone is simply dropped — the
+    /// error carries the request and callback back unchanged, same shape
+    /// as always, and the front end re-attaches its clone on retry.
+    pub fn try_submit_traced(
+        &self,
+        request: Request,
+        span: Option<Span>,
+        done: QueryCallback,
+    ) -> Result<(), SubmitError> {
         match &self.backend {
             Backend::Fifo(intake) => {
                 let Some(jobs) = intake.lock().expect("intake lock poisoned").clone() else {
                     return Err(SubmitError::Closed(request, done));
                 };
-                jobs.try_send(Job { request, reply: Reply::Callback(done) }).map_err(|e| match e {
-                    mpsc::TrySendError::Full(job) => match job.reply {
-                        Reply::Callback(done) => SubmitError::Full(job.request, done),
-                        Reply::Channel(_) => unreachable!("submitted with a callback"),
-                    },
-                    mpsc::TrySendError::Disconnected(job) => match job.reply {
-                        Reply::Callback(done) => SubmitError::Closed(job.request, done),
-                        Reply::Channel(_) => unreachable!("submitted with a callback"),
-                    },
+                jobs.try_send(Job { request, reply: Reply::Callback(done), span }).map_err(|e| {
+                    match e {
+                        mpsc::TrySendError::Full(job) => match job.reply {
+                            Reply::Callback(done) => SubmitError::Full(job.request, done),
+                            Reply::Channel(_) => unreachable!("submitted with a callback"),
+                        },
+                        mpsc::TrySendError::Disconnected(job) => match job.reply {
+                            Reply::Callback(done) => SubmitError::Closed(job.request, done),
+                            Reply::Channel(_) => unreachable!("submitted with a callback"),
+                        },
+                    }
                 })
             }
             Backend::Lanes(state) => {
                 let (op, units, est_us) = self.price(state, &request);
                 let lane = state.model.lane(op, units);
                 let item = LaneJob {
-                    job: Job { request, reply: Reply::Callback(done) },
+                    job: Job { request, reply: Reply::Callback(done), span },
                     op,
                     units,
                     est_us,

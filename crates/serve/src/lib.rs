@@ -68,6 +68,7 @@ pub mod codec;
 pub mod conn;
 pub mod event_loop;
 pub mod executor;
+pub mod obs;
 pub mod protocol;
 pub mod sched;
 pub mod stats;
@@ -75,6 +76,7 @@ pub mod tcp;
 pub mod timeline;
 
 pub use admission::{Admission, IngestEvent, IngestReceipt};
+pub use avt_obs::{obs_mode, obs_on, set_obs_mode, set_slow_threshold_us, ObsMode};
 pub use binary::BinaryCodec;
 pub use codec::{Codec, TextCodec, WireRequest, WireVerb};
 pub use conn::Conn;
@@ -82,7 +84,7 @@ pub use event_loop::EventFront;
 pub use executor::{execute, QueryCallback, Service, ServiceConfig, ShutdownReport, SubmitError};
 pub use protocol::{
     BestAlgo, LaneStats, OpClass, OpLatency, Request, Response, SchedStats, ShardLatency,
-    WriterStats,
+    TraceEntry, WriterStats,
 };
 pub use sched::{sched_mode, set_sched_bench, set_sched_mode, CostModel, Lane, SchedMode};
 pub use stats::ServiceStats;

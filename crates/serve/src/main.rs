@@ -6,6 +6,7 @@
 //!           [--front epoll|threads] [--max-connections N]
 //!           [--write-shards N] [--ingest-lag T]
 //!           [--sched fifo|lanes] [--sched-bench PATH]
+//!           [--obs off|on] [--slow-us N]
 //! ```
 //!
 //! Starts a [`avt_serve::LiveTimeline`] on a churned dataset stream (the
@@ -70,15 +71,23 @@ options:
                     lanes priced by the cost model); overrides the
                     AVT_SCHED env var
   --sched-bench PATH  BENCH_*.json snapshot to seed the lane cost model
-                    from (default: $AVT_SCHED_BENCH, else BENCH_9.json /
-                    BENCH_8.json beside the binary's working directory,
-                    else built-in rates)
+                    from (default: $AVT_SCHED_BENCH, else BENCH_10.json /
+                    BENCH_9.json / BENCH_8.json beside the binary's
+                    working directory, else built-in rates)
+  --obs MODE        telemetry layer: `off` (default; wire output stays
+                    byte-identical to the pre-telemetry release) or `on`
+                    (metrics registry + request spans + flight recorder,
+                    served via the METRICS and TRACE verbs); overrides
+                    the AVT_OBS env var
+  --slow-us N       flight-recorder slow threshold in µs — requests at or
+                    over it are always retained (default: $AVT_OBS_SLOW_US,
+                    else 10000)
 
 The service speaks the protocols documented in avt_serve::codec and
 avt_serve::binary — text lines (INFO / SPECTRUM / CORE / ANCHORED /
-FOLLOWERS / BEST / INGEST / STATS / SHUTDOWN) and the pipelined binary
-framing — on the same port; drive it with `loadgen` from avt-bench or
-plain netcat.
+FOLLOWERS / BEST / INGEST / STATS / METRICS / TRACE / SHUTDOWN) and the
+pipelined binary framing — on the same port; drive it with `loadgen`
+from avt-bench or plain netcat.
 ";
 
 struct Args {
@@ -95,6 +104,8 @@ struct Args {
     ingest_lag: u64,
     sched: Option<avt_serve::SchedMode>,
     sched_bench: Option<String>,
+    obs: Option<avt_serve::ObsMode>,
+    slow_us: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -112,6 +123,8 @@ fn parse_args() -> Result<Args, String> {
         ingest_lag: 4,
         sched: None,
         sched_bench: None,
+        obs: None,
+        slow_us: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -153,6 +166,15 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--sched-bench" => args.sched_bench = Some(value),
+            "--obs" => {
+                args.obs = Some(
+                    avt_serve::ObsMode::parse(&value)
+                        .ok_or_else(|| format!("--obs must be off or on, got {value}"))?,
+                )
+            }
+            "--slow-us" => {
+                args.slow_us = Some(value.parse().map_err(|e| format!("--slow-us: {e}"))?)
+            }
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
@@ -207,6 +229,14 @@ fn main() -> ExitCode {
         avt_serve::set_sched_bench(path);
     }
     eprintln!("# scheduler: {}", avt_serve::sched_mode().as_str());
+
+    if let Some(mode) = args.obs {
+        avt_serve::set_obs_mode(mode);
+    }
+    if let Some(us) = args.slow_us {
+        avt_serve::set_slow_threshold_us(us);
+    }
+    eprintln!("# telemetry: {}", avt_serve::obs_mode().as_str());
 
     let timeline = Arc::new(LiveTimeline::new(stream.initial().clone()));
     let admission = Arc::new(Admission::new(Arc::clone(&timeline), args.ingest_lag));

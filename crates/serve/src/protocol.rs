@@ -24,6 +24,8 @@
 //! | `BEST k b greedy\|olak` | best-`b` anchors + followers + counters |
 //! | `STATS` | service counters incl. per-opcode latency percentiles |
 //! | `INGEST ts ins del` | admission verdict: accepted/folded/rejected + watermark |
+//! | `METRICS` | the telemetry registry, Prometheus-style text |
+//! | `TRACE n` | top-n flight-recorder entries with stage breakdowns |
 //!
 //! Every *per-epoch* response carries the epoch `t` it was answered at, so
 //! a client interleaving queries with a running writer can tell which
@@ -44,6 +46,10 @@ pub const MAX_ANCHORS: usize = 64;
 /// split across requests sharing a timestamp, which the staging window
 /// merges back into one epoch anyway.
 pub const MAX_INGEST_EVENTS: usize = 4096;
+
+/// Hard cap on entries per `TRACE` request: the flight recorder retains a
+/// few hundred records, and a dump must stay one bounded frame.
+pub const MAX_TRACE: usize = 256;
 
 /// The per-snapshot solver a `BEST` request runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,13 +95,18 @@ pub enum OpClass {
     Stats,
     /// `INGEST` — external edge events routed through write admission.
     Ingest,
+    /// `METRICS` — the telemetry registry, Prometheus-style text.
+    Metrics,
+    /// `TRACE` — top-n flight-recorder entries with stage breakdowns.
+    Trace,
 }
 
 impl OpClass {
     /// Number of classes (array-index space).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
-    /// Every class, in index order.
+    /// Every class, in index order. New classes append — the index is a
+    /// wire artifact (the binary opcode is `index + 1`).
     pub const ALL: [OpClass; OpClass::COUNT] = [
         OpClass::Info,
         OpClass::Spectrum,
@@ -105,6 +116,8 @@ impl OpClass {
         OpClass::Best,
         OpClass::Stats,
         OpClass::Ingest,
+        OpClass::Metrics,
+        OpClass::Trace,
     ];
 
     /// Dense index in `0..COUNT`, stable across releases (it is part of
@@ -130,6 +143,8 @@ impl OpClass {
             OpClass::Best => "best",
             OpClass::Stats => "stats",
             OpClass::Ingest => "ingest",
+            OpClass::Metrics => "metrics",
+            OpClass::Trace => "trace",
         }
     }
 
@@ -184,6 +199,13 @@ pub enum Request {
         /// Edges to delete, as `(u, v)` pairs.
         deletions: Vec<(VertexId, VertexId)>,
     },
+    /// The telemetry registry, rendered as Prometheus-style text.
+    Metrics,
+    /// The top-n flight-recorder entries (slowest first).
+    Trace {
+        /// How many entries to return (≤ [`MAX_TRACE`]).
+        n: u32,
+    },
 }
 
 impl Request {
@@ -198,8 +220,23 @@ impl Request {
             Request::Best { .. } => OpClass::Best,
             Request::Stats => OpClass::Stats,
             Request::Ingest { .. } => OpClass::Ingest,
+            Request::Metrics => OpClass::Metrics,
+            Request::Trace { .. } => OpClass::Trace,
         }
     }
+}
+
+/// One flight-recorder entry as carried by [`Response::Trace`]: a slow
+/// (or reservoir-sampled) request with its per-stage time breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The request's op class wire name (`best`, `ingest`, …).
+    pub op: String,
+    /// Total wall time from first byte to encoded reply, µs.
+    pub total_us: u64,
+    /// `(stage, µs)` pairs in pipeline order; stages that saw no time
+    /// are omitted.
+    pub stages: Vec<(String, u64)>,
 }
 
 /// Latency summary of one opcode class, as reported by `STATS`.
@@ -403,6 +440,18 @@ pub enum Response {
         rejected: u64,
         /// The watermark after this request.
         watermark: u64,
+    },
+    /// Reply to `METRICS`: the whole telemetry registry, Prometheus-style
+    /// text exposition (empty when telemetry is off).
+    Metrics {
+        /// The rendered exposition (`# TYPE` lines plus samples).
+        text: String,
+    },
+    /// Reply to `TRACE`: flight-recorder entries, slowest first (empty
+    /// when telemetry is off or nothing has completed yet).
+    Trace {
+        /// The entries, slowest first.
+        entries: Vec<TraceEntry>,
     },
     /// Acknowledgement of a `SHUTDOWN` verb: the last message the service
     /// sends before draining.

@@ -25,12 +25,14 @@
 //!
 //! * **Classification** is an estimate, not a table: the [`CostModel`]
 //!   seeds per-class rates from a `BENCH_*.json` snapshot when one is
-//!   around (`--sched-bench` / `AVT_SCHED_BENCH`, else `BENCH_9.json` /
-//!   `BENCH_8.json` in the working directory) and refines them online
-//!   from observed executor latencies, scaled by cheap predictors —
-//!   spectrum size × `b` for `BEST`, batch size × watermark backlog for
-//!   `INGEST`. `INFO`/`SPECTRUM`/`CORE`/`STATS` are cheap by fiat: they
-//!   read only what the epoch published.
+//!   around (`--sched-bench` / `AVT_SCHED_BENCH`, else the newest of
+//!   `BENCH_10.json` / `BENCH_9.json` / `BENCH_8.json` in the working
+//!   directory) and refines them online from observed executor
+//!   latencies, scaled by cheap predictors — spectrum size × `b` for
+//!   `BEST`, batch size × watermark backlog for `INGEST`.
+//!   `INFO`/`SPECTRUM`/`CORE`/`STATS`/`METRICS`/`TRACE` are cheap by
+//!   fiat: they read only what the epoch (or the telemetry registry)
+//!   already published.
 //! * **Stealing** reuses [`avt_core::steal::StealQueues`], the same deque
 //!   fabric behind the engine's `run_stealing`. A worker's victim order is
 //!   its own deque, then same-lane siblings, then — last — the other
@@ -161,7 +163,15 @@ impl Lane {
 /// Classes whose handlers only copy what the epoch already published —
 /// cheap by construction, never routed through the estimate.
 fn cheap_by_fiat(op: OpClass) -> bool {
-    matches!(op, OpClass::Info | OpClass::Spectrum | OpClass::Core | OpClass::Stats)
+    matches!(
+        op,
+        OpClass::Info
+            | OpClass::Spectrum
+            | OpClass::Core
+            | OpClass::Stats
+            | OpClass::Metrics
+            | OpClass::Trace
+    )
 }
 
 /// Estimates above this run in the expensive lane.
@@ -188,6 +198,8 @@ const DEFAULT_RATE_NS: [u64; OpClass::COUNT] = [
     100_000, // Best — per (spectrum size × b) unit
     2_000,   // Stats — cheap by fiat
     20_000,  // Ingest — per (batch × (1 + backlog)) unit
+    2_000,   // Metrics — cheap by fiat (registry render)
+    1_000,   // Trace — cheap by fiat (flight-recorder copy)
 ];
 
 /// The cost model: per-class nanoseconds-per-unit rates, seeded statically
@@ -215,21 +227,34 @@ impl Default for CostModel {
 
 impl CostModel {
     /// A model seeded from the environment: the [`set_sched_bench`]
-    /// override, else `$AVT_SCHED_BENCH`, else `BENCH_9.json` /
-    /// `BENCH_8.json` in the working directory — first one that parses
-    /// wins; none of them present means the built-in defaults (online
-    /// refinement converges either way, seeding just shortens the warmup).
+    /// override, else `$AVT_SCHED_BENCH` (trimmed), else `BENCH_10.json`
+    /// / `BENCH_9.json` / `BENCH_8.json` in the working directory — first
+    /// one that parses wins; none of them present means the built-in
+    /// defaults (online refinement converges either way, seeding just
+    /// shortens the warmup).
+    ///
+    /// An *explicitly named* snapshot (flag or env) that cannot be read
+    /// or has no matching labels warns once per process — silently
+    /// ignoring a typo'd `AVT_SCHED_BENCH` would make a "seeded" CI lane
+    /// measure nothing, the same failure mode the `AVT_SCHED` warning
+    /// exists for. The default candidates stay silent: their absence is
+    /// the common case, not a misconfiguration.
     pub fn from_env() -> CostModel {
         let model = CostModel::default();
         let override_path = BENCH_PATH.lock().expect("bench path lock poisoned").clone();
-        let env_path = std::env::var("AVT_SCHED_BENCH").ok();
-        let candidates: Vec<String> = override_path
-            .into_iter()
-            .chain(env_path)
-            .chain(["BENCH_9.json".to_string(), "BENCH_8.json".to_string()])
-            .collect();
-        for path in candidates {
-            if let Ok(text) = std::fs::read_to_string(&path) {
+        let env_path = std::env::var("AVT_SCHED_BENCH")
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty());
+        for path in override_path.into_iter().chain(env_path) {
+            match std::fs::read_to_string(&path) {
+                Ok(text) if model.seed_from_snapshot(&text) => return model,
+                Ok(_) => warn_bench_once(&path, "has no matching bench labels"),
+                Err(_) => warn_bench_once(&path, "is unreadable"),
+            }
+        }
+        for path in ["BENCH_10.json", "BENCH_9.json", "BENCH_8.json"] {
+            if let Ok(text) = std::fs::read_to_string(path) {
                 if model.seed_from_snapshot(&text) {
                     return model;
                 }
@@ -323,6 +348,15 @@ impl CostModel {
     pub fn err_pct_percentile(&self, p: f64) -> Option<u64> {
         self.err_pct.percentile(p)
     }
+}
+
+/// Warn once per process about an explicitly configured bench snapshot
+/// that contributed nothing (see [`CostModel::from_env`]).
+fn warn_bench_once(path: &str, what: &str) {
+    static WARN_ONCE: Once = Once::new();
+    WARN_ONCE.call_once(|| {
+        eprintln!("warning: sched bench snapshot {path:?} {what}; using built-in cost seeds");
+    });
 }
 
 /// Minimal parser for the flat `{"key": integer}` JSON the criterion shim
@@ -587,7 +621,14 @@ mod tests {
     #[test]
     fn cheap_classes_never_leave_the_cheap_lane() {
         let model = CostModel::default();
-        for op in [OpClass::Info, OpClass::Spectrum, OpClass::Core, OpClass::Stats] {
+        for op in [
+            OpClass::Info,
+            OpClass::Spectrum,
+            OpClass::Core,
+            OpClass::Stats,
+            OpClass::Metrics,
+            OpClass::Trace,
+        ] {
             assert_eq!(model.lane(op, u64::MAX / 2), Lane::Cheap, "{op:?}");
         }
         assert_eq!(model.lane(OpClass::Best, 64), Lane::Expensive);

@@ -72,6 +72,13 @@ impl LatencyRing {
 }
 
 /// Nearest-rank percentile of `samples` (sorted in place). `None` on empty.
+///
+/// The rank is computed from the *observed* sample count and clamped to
+/// `1..=len`, never the ring capacity — a ring that has seen only 3
+/// samples reports its p99 as the max of those 3, not as whatever a
+/// capacity-relative rank would land on. (The caller already filtered
+/// never-written slots, so unwritten capacity cannot bias the estimate
+/// toward zero either.)
 pub fn percentile_of(samples: &mut [u64], p: f64) -> Option<u64> {
     if samples.is_empty() {
         return None;
@@ -199,6 +206,19 @@ mod tests {
         let tiny = LatencyRing::with_slots(0);
         tiny.record(9);
         assert_eq!(tiny.samples(), vec![9]);
+    }
+
+    #[test]
+    fn p99_of_three_samples_is_their_max() {
+        // Low-count behaviour: the rank comes from the observed count (3),
+        // never from ring capacity, so tail percentiles degrade to the max
+        // rather than being dragged toward an interior sample.
+        let ring = LatencyRing::default();
+        for v in [30, 10, 20] {
+            ring.record(v);
+        }
+        assert_eq!(ring.percentile(99.0), Some(30));
+        assert_eq!(percentile_of(&mut [30, 10, 20], 99.0), Some(30));
     }
 
     #[test]

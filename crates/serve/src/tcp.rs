@@ -136,7 +136,7 @@ fn run_queries(
     }
     let mut queue: VecDeque<(u64, Request)> = first.queries.into();
     while let Some((seq, request)) = queue.pop_front() {
-        let reply = service.query(request);
+        let reply = service.query_traced(request, conn.span(seq));
         let released = conn.complete(seq, reply)?;
         wants_shutdown |= released.shutdown;
         for _ in 0..released.malformed {

@@ -1,0 +1,221 @@
+//! Property tests for the telemetry layer (PR 10). The invariants:
+//!
+//! * **Mergeability.** Merging two histogram snapshots is *exactly* the
+//!   histogram of the concatenated samples (bucket-wise addition loses
+//!   nothing), and the bucketed percentile stays within the log-bucket
+//!   error bound of the exact nearest-rank sample percentile.
+//! * **Span accounting.** Stage charges partition a prefix of the
+//!   request's lifetime: their sum never exceeds the span total.
+//! * **Wire round-trip.** The new `METRICS`/`TRACE` verbs and replies
+//!   survive both codecs — including metrics text full of newlines,
+//!   percent signs, and tabs, which the text codec must escape through
+//!   its own line-delimited framing.
+//! * **Zero drift while off.** With `AVT_OBS=off` every legacy reply —
+//!   `STATS` included — is byte-identical to the `on` run's on both
+//!   codecs: telemetry reads the request path, it never rewrites it.
+
+use std::sync::Arc;
+
+use avt::datasets::er::gnm;
+use avt_obs::{Histogram, ObsMode, Span, Stage, STAGE_COUNT};
+use avt_serve::codec::{Codec, TextCodec};
+use avt_serve::protocol::MAX_TRACE;
+use avt_serve::{
+    set_obs_mode, BinaryCodec, LiveTimeline, Request, Response, Service, ServiceConfig, TraceEntry,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+static CODECS: [&dyn Codec; 2] = [&TextCodec, &BinaryCodec];
+
+/// Map raw bytes onto the characters the text codec's escaping must
+/// survive: the escape-critical set (`%`, space, newline, tab, CR) mixed
+/// with ordinary exposition text.
+fn metrics_text(raw: &[u8]) -> String {
+    const CHARSET: &[char] =
+        &['a', 'Z', '0', '9', '%', ' ', '\n', '\t', '\r', '{', '}', '"', '=', '_', '.', '#'];
+    raw.iter().map(|&b| CHARSET[b as usize % CHARSET.len()]).collect()
+}
+
+/// Deterministic trace entries from drawn raw values (wire-safe names,
+/// like the real recorder emits).
+fn trace_entries(ops: &[u8], totals: &[u64], stage_us: &[u64]) -> Vec<TraceEntry> {
+    const NAMES: [&str; 6] = ["core", "best", "ingest", "anchored", "followers", "spectrum"];
+    ops.iter()
+        .enumerate()
+        .map(|(i, &op)| TraceEntry {
+            op: NAMES[op as usize % NAMES.len()].to_string(),
+            total_us: totals.get(i).copied().unwrap_or(7),
+            stages: Stage::ALL
+                .iter()
+                .take(i % (STAGE_COUNT + 1))
+                .enumerate()
+                .map(|(s, stage)| {
+                    (stage.as_str().to_string(), stage_us.get(s).copied().unwrap_or(1))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// merge(a, b) ≡ histogram(a ++ b), exactly; and the bucketed
+    /// percentile brackets the exact sample percentile from above within
+    /// the ~2-significance-bit error bound.
+    #[test]
+    fn histogram_merge_matches_concatenation(
+        a in vec(0u64..1_000_000, 0..64),
+        b in vec(0u64..1_000_000, 0..64),
+    ) {
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let all = hall.snapshot();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.sum, all.sum);
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), all.percentile(p), "diverged at p={}", p);
+        }
+        let mut exact: Vec<u64> = a.iter().chain(&b).copied().collect();
+        if !exact.is_empty() {
+            exact.sort_unstable();
+            for p in [50.0, 99.0] {
+                let rank = ((p / 100.0) * exact.len() as f64).ceil() as usize;
+                let want = exact[rank.clamp(1, exact.len()) - 1];
+                let got = merged.percentile(p).expect("nonempty histogram");
+                prop_assert!(got >= want, "p{}: bucketed {} under exact {}", p, got, want);
+                prop_assert!(
+                    got <= want + want / 4 + 1,
+                    "p{}: bucketed {} over error bound of exact {}",
+                    p, got, want
+                );
+            }
+        }
+    }
+
+    /// Whatever the mark pattern, stage charges cover a prefix of the
+    /// lifetime: their sum never exceeds the finished total.
+    #[test]
+    fn span_stage_charges_never_exceed_total(work in vec(1u64..400, 1..10)) {
+        let span = Span::begin("prop");
+        let mut acc = 0u64;
+        for (i, &w) in work.iter().enumerate() {
+            for x in 0..w * 20 {
+                acc = acc.wrapping_add(std::hint::black_box(x));
+            }
+            span.mark(Stage::ALL[i % STAGE_COUNT]);
+        }
+        std::hint::black_box(acc);
+        let record = span.finish();
+        let sum: u64 = Stage::ALL.iter().map(|&s| record.stage(s)).sum();
+        prop_assert!(
+            sum <= record.total_ns,
+            "stage sum {} exceeds total {}",
+            sum, record.total_ns
+        );
+    }
+
+    /// `METRICS` / `TRACE n` requests and their replies round-trip both
+    /// codecs, newline-riddled exposition text included.
+    #[test]
+    fn metrics_and_trace_round_trip_both_codecs(
+        id in 0u64..u64::MAX,
+        n in 0u32..MAX_TRACE as u32 + 1,
+        raw in vec(0u8..=255, 0..300),
+        ops in vec(0u8..8, 0..5),
+        totals in vec(0u64..1 << 40, 0..5),
+        stage_us in vec(0u64..1 << 30, 0..6),
+    ) {
+        let cases = [
+            Ok(Response::Metrics { text: metrics_text(&raw) }),
+            Ok(Response::Trace { entries: trace_entries(&ops, &totals, &stage_us) }),
+        ];
+        for codec in CODECS {
+            for request in [Request::Metrics, Request::Trace { n }] {
+                let mut wire = Vec::new();
+                codec.encode_request(id, &request, &mut wire);
+                let len = codec
+                    .decode_frame(&wire)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", codec.name())))?
+                    .expect("one complete frame");
+                prop_assert_eq!(len, wire.len(), "trailing bytes under {}", codec.name());
+                match codec.decode_request(&wire[..len]).verb {
+                    avt_serve::codec::WireVerb::Query(got) => {
+                        prop_assert_eq!(&got, &request, "mangled by {}", codec.name())
+                    }
+                    other => prop_assert!(false, "decoded {:?} under {}", other, codec.name()),
+                }
+            }
+            for reply in &cases {
+                let mut wire = Vec::new();
+                codec.encode_response(id, reply, &mut wire);
+                let len = codec
+                    .decode_frame(&wire)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", codec.name())))?
+                    .expect("one complete frame");
+                prop_assert_eq!(len, wire.len(), "trailing bytes under {}", codec.name());
+                let (_, got) = codec
+                    .decode_response(&wire[..len])
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", codec.name())))?;
+                prop_assert_eq!(&got, reply, "reply mangled by {}", codec.name());
+            }
+        }
+    }
+}
+
+/// The zero-drift guarantee behind the `AVT_OBS` axis: a fifo service
+/// answers the whole legacy verb set — `STATS` first, while its rings
+/// are deterministically empty — with byte-identical frames whether
+/// telemetry is off or on, under both codecs. (The `METRICS`/`TRACE`
+/// verbs are new in this release, so no legacy frame constrains them.)
+#[test]
+fn legacy_frames_are_byte_identical_with_obs_off_and_on() {
+    let graph = gnm(40, 120, 9);
+    let requests = [
+        Request::Stats,
+        Request::Info,
+        Request::Spectrum,
+        Request::Core(3),
+        Request::Anchored { k: 3, anchors: vec![1, 2] },
+        Request::Followers { k: 3, anchor: 5 },
+        Request::Best { k: 3, b: 2, algo: avt_serve::BestAlgo::Greedy },
+    ];
+    let run = |mode: ObsMode| -> Vec<Vec<u8>> {
+        set_obs_mode(mode);
+        let timeline = Arc::new(LiveTimeline::new(graph.clone()));
+        // Pin fifo regardless of $AVT_SCHED: the lanes STATS block carries
+        // wall-clock-derived cost-model error percentiles, which differ
+        // between any two runs — scheduler noise, not obs drift.
+        let config = ServiceConfig { sched: avt_serve::SchedMode::Fifo, ..Default::default() };
+        let service = Service::start(Arc::clone(&timeline), config);
+        let frames = requests
+            .iter()
+            .map(|request| {
+                let reply = service.query(request.clone());
+                let mut bytes = Vec::new();
+                for codec in CODECS {
+                    codec.encode_response(7, &reply, &mut bytes);
+                }
+                bytes
+            })
+            .collect();
+        assert_eq!(service.shutdown().worker_panics, 0);
+        frames
+    };
+    let off = run(ObsMode::Off);
+    let on = run(ObsMode::On);
+    set_obs_mode(ObsMode::Off);
+    for (i, (off_frame, on_frame)) in off.iter().zip(&on).enumerate() {
+        assert_eq!(off_frame, on_frame, "frame drifted under obs=on for {:?}", requests[i]);
+    }
+}
